@@ -1,0 +1,48 @@
+"""Ablation: the state-maintenance charge drives the eager-cost curve.
+
+DESIGN.md section 5(2): per-execution state-store maintenance is the
+dominant physical reason eager execution costs more on the paper's Spark
+substrate. Sweeping the factor shows the Figure-1 trade-off appearing:
+with no state charge the eager multiplier collapses toward 1 and the
+approaches become indistinguishable.
+"""
+
+from common import run_and_report
+from repro.engine.executor import PlanExecutor
+from repro.engine.stream import StreamConfig
+from repro.harness import ExperimentResult, format_table
+from repro.mqo.merge import build_unshared_plan
+from repro.workloads.tpch import build_workload, generate_catalog
+
+
+def _sweep():
+    catalog = generate_catalog(scale=0.4)
+    queries = build_workload(catalog)
+    plan = build_unshared_plan(catalog, queries)
+    result = ExperimentResult("Ablation: state-maintenance factor")
+    rows = []
+    for factor in (0.0, 0.1, 0.3, 0.6):
+        config = StreamConfig(state_factor=factor)
+        executor = PlanExecutor(plan, config)
+        batch = executor.run(
+            {s.sid: 1 for s in plan.subplans}, collect_results=False
+        ).total_work
+        eager = executor.run(
+            {s.sid: 50 for s in plan.subplans}, collect_results=False
+        ).total_work
+        rows.append(["factor %.1f" % factor, batch, eager, eager / batch])
+    result.add_section(format_table(
+        ("Setting", "Batch work", "Eager(50) work", "Multiplier"), rows,
+        "Eager-execution overhead vs state factor (22 queries)",
+    ))
+    result.data["rows"] = rows
+    return result
+
+
+def test_ablation_state_factor(benchmark):
+    result = run_and_report(benchmark, "ablation_state_factor", _sweep)
+    rows = result.data["rows"]
+    multipliers = [row[3] for row in rows]
+    assert multipliers == sorted(multipliers)
+    assert multipliers[0] < 1.2       # without the charge, eagerness is near-free
+    assert multipliers[-1] > 1.8      # with it, the Figure-1 trade-off appears

@@ -1,0 +1,21 @@
+"""Figure 9: total execution time under random relative constraints.
+
+Paper shape: iShare lowest; Share-Uniform worst (it must chase the lowest
+random constraint with the whole shared plan); NoShare-Nonuniform better
+than NoShare-Uniform. Also feeds the "Random" half of Table 1.
+"""
+
+from common import run_and_report
+from repro.harness import fig9
+
+
+def test_fig9_random_constraints(benchmark):
+    result = run_and_report(
+        benchmark, "fig09", lambda: fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3))
+    )
+    totals = result.data["totals"]
+    # the headline claim: iShare uses the least CPU
+    import statistics
+
+    means = {name: statistics.mean(values) for name, values in totals.items()}
+    assert means["iShare"] == min(means.values())

@@ -1,0 +1,20 @@
+"""Figure 11: uniform relative constraints over all 22 TPC-H queries.
+
+Paper shape: iShare lowest at every level; Share-Uniform's advantage over
+NoShare erodes as constraints tighten (diverse absolute constraints force
+overly eager shared execution).
+"""
+
+from common import run_and_report
+from repro.harness import fig11
+
+
+def test_fig11_uniform_22q(benchmark):
+    result = run_and_report(
+        benchmark, "fig11", lambda: fig11(scale=0.5, max_pace=100)
+    )
+    for label, by_approach in result.data["rows"]:
+        assert (
+            by_approach["iShare"].total_seconds
+            <= min(r.total_seconds for r in by_approach.values()) * 1.05
+        ), label

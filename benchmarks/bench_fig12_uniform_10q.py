@@ -1,0 +1,19 @@
+"""Figure 12: uniform constraints over the sharing-friendly 10 queries.
+
+Paper shape: with similar absolute constraints, Share-Uniform beats the
+NoShare approaches; iShare is lowest at every level.
+"""
+
+from common import run_and_report
+from repro.harness import fig12
+
+
+def test_fig12_uniform_10q(benchmark):
+    result = run_and_report(
+        benchmark, "fig12", lambda: fig12(scale=0.5, max_pace=100)
+    )
+    for label, by_approach in result.data["rows"]:
+        assert (
+            by_approach["iShare"].total_seconds
+            <= min(r.total_seconds for r in by_approach.values()) * 1.05
+        ), label

@@ -1,0 +1,19 @@
+"""Figure 15: optimization overhead with and without memoization.
+
+Paper shape: without the Algorithm-1 memo tables, the pace search's cost
+explodes with the max pace and DNFs past the cutoff; with memoization it
+stays in seconds.
+"""
+
+from common import run_and_report
+from repro.harness import fig15
+
+
+def test_fig15_memoization(benchmark):
+    result = run_and_report(
+        benchmark, "fig15",
+        lambda: fig15(scale=0.35, max_paces=(10, 25, 50, 100), dnf_seconds=60.0),
+    )
+    rows = result.data["rows"]
+    # with memoization every setting finishes
+    assert all(not isinstance(row[1], str) for row in rows)

@@ -1,0 +1,20 @@
+"""Figure 16: clustering vs brute-force split search.
+
+Paper shape: brute force enumerates Bell-number many partitions and grows
+exponentially with the number of queries; the greedy clustering stays
+near-flat.
+"""
+
+from common import run_and_report
+from repro.harness import fig16
+
+
+def test_fig16_clustering(benchmark):
+    result = run_and_report(
+        benchmark, "fig16",
+        lambda: fig16(scale=0.35, query_counts=(2, 3, 4, 5, 6, 7)),
+    )
+    rows = result.data["rows"]
+    # brute force at the largest size is far slower than clustering
+    last = rows[-1]
+    assert last[2] > last[1]

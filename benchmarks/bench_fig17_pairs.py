@@ -1,0 +1,24 @@
+"""Figure 17: incrementability micro-benchmarks on query pairs.
+
+Paper shape: (a) Q5/Q8 are incrementable, sharing stays good; (b) mixing
+non-incrementable Q15 with Q7 makes Share-Uniform lose at tight
+constraints; (c) Q_A/Q_B -- iShare unshares at tight constraints and
+tracks the NoShare approaches.
+"""
+
+from common import run_and_report
+from repro.harness import fig17
+
+
+def test_fig17_pairs(benchmark):
+    result = run_and_report(
+        benchmark, "fig17", lambda: fig17(scale=0.5, max_pace=100)
+    )
+    pairs = result.data["pairs"]
+    # iShare never loses to Share-Uniform on any pair/level
+    for pair_name, rows in pairs.items():
+        for label, by_approach in rows:
+            assert (
+                by_approach["iShare"].total_seconds
+                <= by_approach["Share-Uniform"].total_seconds * 1.05
+            ), (pair_name, label)

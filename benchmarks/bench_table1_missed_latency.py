@@ -1,0 +1,16 @@
+"""Table 1: missed latencies under random and uniform constraints.
+
+Paper shape: iShare / NoShare-Nonuniform have small mean misses; the
+single-pace approaches (NoShare-Uniform, Share-Uniform) show large
+maximum misses driven by the non-incrementable Q15.
+"""
+
+from common import run_and_report
+from repro.harness import table1
+
+
+def test_table1_missed_latency(benchmark):
+    run_and_report(
+        benchmark, "table1",
+        lambda: table1(scale=0.4, max_pace=100, seeds=(1, 2)),
+    )

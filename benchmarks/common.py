@@ -1,0 +1,29 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark runs one experiment driver exactly once (the driver itself
+is the expensive end-to-end pipeline), prints the paper-style tables, and
+archives them under ``benchmarks/results/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_and_report(benchmark, name, experiment):
+    """Benchmark one experiment driver and report its tables."""
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = result.text()
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    tables = getattr(result, "tables", None)
+    if tables:
+        with open(os.path.join(RESULTS_DIR, "%s.csv" % name), "w") as handle:
+            handle.write(result.to_csv())
+    return result

@@ -1,0 +1,6 @@
+"""Make the shared helpers importable from the benchmark files."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so the package installs in offline environments without the
+``wheel`` package (``pip install -e . --no-build-isolation --no-use-pep517``).
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

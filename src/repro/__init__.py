@@ -1,0 +1,106 @@
+"""repro -- reproduction of iShare (SIGMOD 2021).
+
+Resource-efficient shared query execution via exploiting time slackness:
+a shared incremental query engine plus the iShare optimizer that assigns
+per-subplan execution paces and selectively decomposes ("unshares")
+shared subplans under heterogeneous latency goals.
+
+Quickstart
+----------
+>>> from repro import (
+...     Catalog, Schema, col, agg_sum, PlanBuilder, MQOOptimizer,
+...     StreamConfig, PlanExecutor, calibrate_plan,
+... )
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+from .errors import (
+    ReproError,
+    SchemaError,
+    ExpressionError,
+    PlanError,
+    ParseError,
+    OptimizationError,
+    ExecutionError,
+    CostModelError,
+)
+from .relational import (
+    Column,
+    Schema,
+    Table,
+    Catalog,
+    Delta,
+    DeltaBatch,
+    col,
+    agg_sum,
+    agg_count,
+    agg_avg,
+    agg_min,
+    agg_max,
+    INT,
+    FLOAT,
+    STR,
+    DATE,
+)
+from .logical import PlanBuilder, Query, format_plan
+from .mqo import (
+    MQOOptimizer,
+    SharedQueryPlan,
+    Subplan,
+    build_unshared_plan,
+    build_blocking_cut_plan,
+)
+from .engine import (
+    StreamConfig,
+    PlanExecutor,
+    calibrate_plan,
+    MissedLatencySummary,
+    missed_latency,
+)
+from .cost import PlanCostModel, CostConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "ExpressionError",
+    "PlanError",
+    "ParseError",
+    "OptimizationError",
+    "ExecutionError",
+    "CostModelError",
+    "Column",
+    "Schema",
+    "Table",
+    "Catalog",
+    "Delta",
+    "DeltaBatch",
+    "col",
+    "agg_sum",
+    "agg_count",
+    "agg_avg",
+    "agg_min",
+    "agg_max",
+    "INT",
+    "FLOAT",
+    "STR",
+    "DATE",
+    "PlanBuilder",
+    "Query",
+    "format_plan",
+    "MQOOptimizer",
+    "SharedQueryPlan",
+    "Subplan",
+    "build_unshared_plan",
+    "build_blocking_cut_plan",
+    "StreamConfig",
+    "PlanExecutor",
+    "calibrate_plan",
+    "MissedLatencySummary",
+    "missed_latency",
+    "PlanCostModel",
+    "CostConfig",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""iShare core: incrementability, pace search, subplan decomposition."""
+
+from .pace import (
+    batch_configuration,
+    uniform_configuration,
+    with_pace,
+    is_eagerer_or_equal,
+    validate_parent_child,
+    can_increase,
+    can_decrease,
+)
+from .incrementability import (
+    benefit,
+    incrementability,
+    bounded_final_work,
+    constraints_met,
+    unmet_queries,
+)
+from .greedy import PaceSearch, PaceSearchResult, decrease_paces
+from .split import LocalSplitOptimizer, SplitDecision, set_partitions
+from .regenerate import apply_split
+from .partial import partial_cut_candidates, bfs_order
+from .decompose import decompose_full_plan, DecompositionOutcome, DecompositionAction
+from .optimizer import (
+    OptimizerConfig,
+    OptimizationResult,
+    optimize_ishare,
+    optimize_noshare_uniform,
+    optimize_noshare_nonuniform,
+    optimize_share_uniform,
+    reference_absolute_constraints,
+)
+
+__all__ = [
+    "batch_configuration",
+    "uniform_configuration",
+    "with_pace",
+    "is_eagerer_or_equal",
+    "validate_parent_child",
+    "can_increase",
+    "can_decrease",
+    "benefit",
+    "incrementability",
+    "bounded_final_work",
+    "constraints_met",
+    "unmet_queries",
+    "PaceSearch",
+    "PaceSearchResult",
+    "decrease_paces",
+    "LocalSplitOptimizer",
+    "SplitDecision",
+    "set_partitions",
+    "apply_split",
+    "partial_cut_candidates",
+    "bfs_order",
+    "decompose_full_plan",
+    "DecompositionOutcome",
+    "DecompositionAction",
+    "OptimizerConfig",
+    "OptimizationResult",
+    "optimize_ishare",
+    "optimize_noshare_uniform",
+    "optimize_noshare_nonuniform",
+    "optimize_share_uniform",
+    "reference_absolute_constraints",
+]

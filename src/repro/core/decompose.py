@@ -1,0 +1,194 @@
+"""Applying decomposition to the full plan (paper section 4.4).
+
+After the greedy search fixes a nonuniform pace configuration, iShare
+walks the shared subplans from parents to children and, for each one,
+proposes a split (greedy clustering or brute force over the local
+optimization of section 4.1), regenerates the plan (section 4.2), derives
+a corrected, lazier pace configuration with the descending search, and
+adopts the new plan iff its estimated total work is lower.  When the full
+split is rejected, partial decomposition candidates (section 4.3) are
+tried as a fallback.
+"""
+
+from ..cost.memo import PlanCostModel
+from ..relational import bitvec
+from .greedy import decrease_paces
+from .partial import partial_cut_candidates
+from .regenerate import apply_split
+from .split import LocalSplitOptimizer
+
+
+def total_missed_final_work(evaluation, constraints):
+    """Sum of constraint violations: how infeasible a configuration is."""
+    return sum(
+        max(0.0, evaluation.query_final_work.get(qid, 0.0) - bound)
+        for qid, bound in constraints.items()
+    )
+
+
+def _improves(new_eval, old_eval, constraints, epsilon=1e-6):
+    """Feasibility-first acceptance (the paper's optimization objective).
+
+    The problem statement minimizes total work *subject to* the final-work
+    constraints, so a candidate that reduces the total missed final work
+    is adopted even at higher total work; with equal feasibility, lower
+    total work wins.
+    """
+    new_missed = total_missed_final_work(new_eval, constraints)
+    old_missed = total_missed_final_work(old_eval, constraints)
+    if new_missed < old_missed - epsilon:
+        return True
+    if new_missed > old_missed + epsilon:
+        return False
+    return new_eval.total_work < old_eval.total_work - epsilon
+
+
+class DecompositionAction:
+    """Record of one adopted decomposition step (for diagnostics)."""
+
+    __slots__ = ("target_sid", "kind", "partitions", "work_before", "work_after")
+
+    def __init__(self, target_sid, kind, partitions, work_before, work_after):
+        self.target_sid = target_sid
+        self.kind = kind
+        self.partitions = partitions
+        self.work_before = work_before
+        self.work_after = work_after
+
+    def __repr__(self):
+        return "DecompositionAction(sp%d %s %s: %.1f -> %.1f)" % (
+            self.target_sid,
+            self.kind,
+            [list(p) for p in self.partitions],
+            self.work_before,
+            self.work_after,
+        )
+
+
+class DecompositionOutcome:
+    """The final plan, paces and evaluation after full-plan decomposition."""
+
+    __slots__ = ("plan", "pace_config", "evaluation", "cost_model", "actions")
+
+    def __init__(self, plan, pace_config, evaluation, cost_model, actions):
+        self.plan = plan
+        self.pace_config = pace_config
+        self.evaluation = evaluation
+        self.cost_model = cost_model
+        self.actions = actions
+
+
+def decompose_full_plan(plan, pace_config, absolute_constraints, max_pace,
+                        cost_config=None, use_brute_force=False,
+                        enable_partial=True, cost_model=None):
+    """Run section 4.4 over the whole plan.
+
+    ``cost_model`` may pass in the model already built for the greedy
+    search so its memo tables are reused for the initial evaluation.
+    """
+    current_plan = plan
+    current_paces = dict(pace_config)
+    model = cost_model or PlanCostModel(current_plan, cost_config)
+    evaluation = model.evaluate(current_paces)
+    actions = []
+
+    worklist = [
+        subplan.sid
+        for subplan in reversed(current_plan.topological_order())
+        if bitvec.popcount(subplan.query_mask) > 1
+    ]
+    while worklist:
+        sid = worklist.pop(0)
+        target = _find_subplan(current_plan, sid)
+        if target is None or bitvec.popcount(target.query_mask) < 2:
+            continue
+        candidate = _try_subplan(
+            current_plan, current_paces, model, evaluation, sid,
+            absolute_constraints, max_pace, cost_config,
+            use_brute_force, enable_partial,
+        )
+        if candidate is None:
+            continue
+        new_plan, new_paces, new_model, new_eval, action = candidate
+        if not _improves(new_eval, evaluation, absolute_constraints):
+            continue
+        action.work_before = evaluation.total_work
+        action.work_after = new_eval.total_work
+        actions.append(action)
+        current_plan, current_paces = new_plan, new_paces
+        model, evaluation = new_model, new_eval
+        # newly created shared pieces may decompose further
+        fresh = [
+            subplan.sid
+            for subplan in reversed(current_plan.topological_order())
+            if bitvec.popcount(subplan.query_mask) > 1
+            and subplan.sid not in worklist
+            and subplan.sid != sid
+        ]
+        worklist = fresh + [s for s in worklist if s in {p.sid for p in current_plan.subplans}]
+    return DecompositionOutcome(current_plan, current_paces, evaluation, model, actions)
+
+
+def _find_subplan(plan, sid):
+    for subplan in plan.subplans:
+        if subplan.sid == sid:
+            return subplan
+    return None
+
+
+def _try_subplan(plan, paces, model, evaluation, sid, absolute_constraints,
+                 max_pace, cost_config, use_brute_force, enable_partial):
+    """Best decomposition candidate for one subplan, or None."""
+    target = plan.subplan_by_id(sid)
+    inputs_eval = model.evaluate(paces, collect_inputs=True)
+    input_stats = inputs_eval.subplan_inputs[sid]
+    local = model.local_constraints(target, absolute_constraints)
+    splitter = LocalSplitOptimizer(target, input_stats, local, max_pace, cost_config)
+    decision = splitter.brute_force() if use_brute_force else splitter.cluster()
+
+    if decision.is_split():
+        parts = [part for part, _ in decision.partitions]
+        new_plan, initial = apply_split(plan, paces, sid, parts)
+        new_model = PlanCostModel(new_plan, cost_config)
+        new_paces, new_eval = decrease_paces(
+            new_model, absolute_constraints, initial
+        )
+        action = DecompositionAction(sid, "unshare", parts, 0.0, 0.0)
+        return new_plan, new_paces, new_model, new_eval, action
+
+    if not enable_partial:
+        return None
+    return _try_partial(
+        plan, paces, sid, absolute_constraints, max_pace, cost_config,
+        use_brute_force, evaluation,
+    )
+
+
+def _try_partial(plan, paces, sid, absolute_constraints, max_pace,
+                 cost_config, use_brute_force, evaluation):
+    """Partial-decomposition fallback (section 4.3)."""
+    best = None
+    for cut_plan, top_sid, bottom_sids in partial_cut_candidates(plan, sid):
+        cut_paces = dict(paces)
+        for bottom_sid in bottom_sids:
+            cut_paces[bottom_sid] = paces[sid]
+        cut_model = PlanCostModel(cut_plan, cost_config)
+        cut_eval = cut_model.evaluate(cut_paces, collect_inputs=True)
+        top = cut_plan.subplan_by_id(top_sid)
+        local = cut_model.local_constraints(top, absolute_constraints)
+        splitter = LocalSplitOptimizer(
+            top, cut_eval.subplan_inputs[top_sid], local, max_pace, cost_config
+        )
+        decision = splitter.brute_force() if use_brute_force else splitter.cluster()
+        if not decision.is_split():
+            continue
+        parts = [part for part, _ in decision.partitions]
+        new_plan, initial = apply_split(cut_plan, cut_paces, top_sid, parts)
+        new_model = PlanCostModel(new_plan, cost_config)
+        new_paces, new_eval = decrease_paces(new_model, absolute_constraints, initial)
+        if not _improves(new_eval, evaluation, absolute_constraints):
+            continue
+        if best is None or _improves(new_eval, best[3], absolute_constraints):
+            action = DecompositionAction(sid, "partial", parts, 0.0, 0.0)
+            best = (new_plan, new_paces, new_model, new_eval, action)
+    return best

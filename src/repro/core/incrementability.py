@@ -1,0 +1,62 @@
+"""Incrementability for shared plans (paper section 3.1).
+
+Incrementability quantifies the cost-effectiveness of eager execution:
+how much *useful* query-latency reduction an extra unit of total work
+buys.  iShare redefines the benefit side for shared execution: once a
+query already meets its final-work constraint, further reducing its final
+work yields no benefit.  With bounded final work
+
+    C'_F(P, q) = max(L(q), C_F(P, q))
+
+the benefit of moving from configuration ``P_B`` to an eagerer ``P_A`` is
+
+    Benefit(P_A, P_B) = sum_q max(0, C_F(P_B, q) - C'_F(P_A, q))     (Eq. 1)
+
+and incrementability is
+
+    InC(P_A, P_B) = Benefit(P_A, P_B) / (C_T(P_A) - C_T(P_B))        (Eq. 2)
+"""
+
+INFINITE = float("inf")
+
+
+def bounded_final_work(final_work, constraint):
+    """``C'_F``: final work clamped from below by the query's constraint."""
+    return max(constraint, final_work)
+
+
+def benefit(eager_eval, lazy_eval, constraints):
+    """Eq. 1: total reduction in *missed* final work across all queries."""
+    total = 0.0
+    for qid, constraint in constraints.items():
+        lazy_final = lazy_eval.query_final_work.get(qid, 0.0)
+        eager_final = eager_eval.query_final_work.get(qid, 0.0)
+        total += max(0.0, lazy_final - bounded_final_work(eager_final, constraint))
+    return total
+
+
+def incrementability(eager_eval, lazy_eval, constraints):
+    """Eq. 2 between a lazier configuration and an eagerer neighbour.
+
+    A non-positive work increase with positive benefit is a free
+    improvement and scores infinite; with zero benefit it scores zero.
+    """
+    gain = benefit(eager_eval, lazy_eval, constraints)
+    extra_work = eager_eval.total_work - lazy_eval.total_work
+    if extra_work <= 0:
+        return INFINITE if gain > 0 else 0.0
+    return gain / extra_work
+
+
+def unmet_queries(evaluation, constraints):
+    """Queries whose final work still exceeds their constraint."""
+    return [
+        qid
+        for qid, constraint in constraints.items()
+        if evaluation.query_final_work.get(qid, 0.0) > constraint
+    ]
+
+
+def constraints_met(evaluation, constraints):
+    """True iff every query's final work is within its constraint."""
+    return not unmet_queries(evaluation, constraints)

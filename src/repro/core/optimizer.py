@@ -1,0 +1,223 @@
+"""End-to-end optimizers: iShare and the section 5.2 baselines.
+
+Every optimizer takes the query batch plus per-query *relative* final-work
+constraints, builds its plan shape, calibrates statistics (one batch run,
+standing in for the historical statistics of recurring queries), and
+searches a pace configuration:
+
+* **NoShare-Uniform** -- each query is one separate subplan with one pace.
+* **NoShare-Nonuniform** -- each query cut at blocking operators, one pace
+  per part (Tang et al. [44] adapted).
+* **Share-Uniform** -- the MQO shared plan, one pace per connected shared
+  plan (the whole plan moves to meet its lowest constraint).
+* **iShare** -- the MQO shared plan with per-subplan paces (section 3) and
+  optional subplan decomposition (section 4).
+
+For apples-to-apples comparisons all approaches should receive the same
+``absolute_constraints`` (computed once from a reference cost model);
+otherwise each computes its own from its calibrated statistics.
+"""
+
+import time
+
+from ..cost.memo import PlanCostModel
+from ..cost.model import CostConfig
+from ..engine.calibrate import calibrate_plan
+from ..engine.stream import StreamConfig
+from ..mqo.merge import MQOOptimizer, build_blocking_cut_plan, build_unshared_plan
+from .decompose import decompose_full_plan
+from .greedy import PaceSearch
+
+
+class OptimizerConfig:
+    """Shared knobs of all optimizers."""
+
+    def __init__(self, max_pace=100, stream_config=None, cost_config=None,
+                 use_memo=True, enable_unshare=True, enable_partial=True,
+                 brute_force_split=False, min_shared_operators=1,
+                 time_budget=None, stats_noise_seed=None):
+        self.max_pace = max_pace
+        self.stream_config = stream_config or StreamConfig()
+        self.cost_config = cost_config or CostConfig(
+            execution_overhead=self.stream_config.execution_overhead,
+            state_factor=self.stream_config.state_factor,
+        )
+        self.use_memo = use_memo
+        self.enable_unshare = enable_unshare
+        self.enable_partial = enable_partial
+        self.brute_force_split = brute_force_split
+        self.min_shared_operators = min_shared_operators
+        self.time_budget = time_budget
+        #: when set, calibrated statistics are perturbed with this seed --
+        #: the paper's (omitted) inaccurate-cardinality-estimation test
+        self.stats_noise_seed = stats_noise_seed
+
+
+class OptimizationResult:
+    """A chosen plan + pace configuration, with optimizer diagnostics."""
+
+    def __init__(self, approach, plan, pace_config, evaluation, cost_model,
+                 absolute_constraints, optimization_seconds, diagnostics=None):
+        self.approach = approach
+        self.plan = plan
+        self.pace_config = pace_config
+        self.evaluation = evaluation
+        self.cost_model = cost_model
+        self.absolute_constraints = absolute_constraints
+        self.optimization_seconds = optimization_seconds
+        self.diagnostics = diagnostics or {}
+
+    def __repr__(self):
+        return "OptimizationResult(%s, est_total=%.1f, opt=%.2fs)" % (
+            self.approach,
+            self.evaluation.total_work,
+            self.optimization_seconds,
+        )
+
+
+def _prepare(plan, config):
+    """Calibrate a plan's statistics and build its cost model."""
+    calibrate_plan(plan, config.stream_config)
+    if config.stats_noise_seed is not None:
+        from ..cost.stats import perturb_stats
+
+        perturb_stats(plan, seed=config.stats_noise_seed)
+    return PlanCostModel(
+        plan,
+        config.cost_config,
+        use_memo=config.use_memo,
+        time_budget=config.time_budget,
+    )
+
+
+def _resolve_constraints(cost_model, relative_constraints, absolute_constraints):
+    if absolute_constraints is not None:
+        return dict(absolute_constraints)
+    return cost_model.absolute_constraints(relative_constraints)
+
+
+def reference_absolute_constraints(catalog, queries, relative_constraints, config):
+    """Canonical absolute constraints from the unshared plan's estimates.
+
+    The paper defines the relative constraint against "the final work of
+    separately executing the query in one batch"; computing it once and
+    handing the same absolute numbers to every approach keeps the
+    comparison fair.
+    """
+    plan = build_unshared_plan(catalog, queries)
+    cost_model = _prepare(plan, config)
+    return cost_model.absolute_constraints(relative_constraints)
+
+
+def optimize_noshare_uniform(catalog, queries, relative_constraints, config,
+                             absolute_constraints=None):
+    """One subplan per query, one pace per query (section 5.2)."""
+    plan = build_unshared_plan(catalog, queries)
+    cost_model = _prepare(plan, config)
+    constraints = _resolve_constraints(cost_model, relative_constraints,
+                                       absolute_constraints)
+    start = time.monotonic()
+    cost_model.reset_deadline()
+    search = PaceSearch(cost_model, constraints, config.max_pace)
+    result = search.find()
+    elapsed = time.monotonic() - start
+    return OptimizationResult(
+        "NoShare-Uniform", plan, result.pace_config, result.evaluation,
+        cost_model, constraints, elapsed,
+        {"iterations": result.iterations, "met": result.met_constraints},
+    )
+
+
+def optimize_noshare_nonuniform(catalog, queries, relative_constraints, config,
+                                absolute_constraints=None):
+    """Per-query subplans at blocking operators, one pace per part."""
+    plan = build_blocking_cut_plan(catalog, queries)
+    cost_model = _prepare(plan, config)
+    constraints = _resolve_constraints(cost_model, relative_constraints,
+                                       absolute_constraints)
+    start = time.monotonic()
+    cost_model.reset_deadline()
+    search = PaceSearch(cost_model, constraints, config.max_pace)
+    result = search.find()
+    elapsed = time.monotonic() - start
+    return OptimizationResult(
+        "NoShare-Nonuniform", plan, result.pace_config, result.evaluation,
+        cost_model, constraints, elapsed,
+        {"iterations": result.iterations, "met": result.met_constraints},
+    )
+
+
+def optimize_share_uniform(catalog, queries, relative_constraints, config,
+                           absolute_constraints=None):
+    """The MQO shared plan with a single pace per connected shared plan."""
+    plan = MQOOptimizer(catalog, config.min_shared_operators).build_shared_plan(queries)
+    cost_model = _prepare(plan, config)
+    constraints = _resolve_constraints(cost_model, relative_constraints,
+                                       absolute_constraints)
+    groups = _component_groups(plan)
+    start = time.monotonic()
+    cost_model.reset_deadline()
+    search = PaceSearch(cost_model, constraints, config.max_pace, groups=groups)
+    result = search.find()
+    elapsed = time.monotonic() - start
+    return OptimizationResult(
+        "Share-Uniform", plan, result.pace_config, result.evaluation,
+        cost_model, constraints, elapsed,
+        {"iterations": result.iterations, "met": result.met_constraints,
+         "components": len(groups)},
+    )
+
+
+def _component_groups(plan):
+    """Group subplans by the connected component of their query sets."""
+    components = plan.connected_components()
+    component_of = {}
+    for index, component in enumerate(components):
+        for qid in component:
+            component_of[qid] = index
+    groups = {}
+    for subplan in plan.subplans:
+        index = component_of[subplan.query_ids()[0]]
+        groups.setdefault(index, []).append(subplan.sid)
+    return list(groups.values())
+
+
+def optimize_ishare(catalog, queries, relative_constraints, config,
+                    absolute_constraints=None):
+    """The full iShare pipeline: nonuniform paces + subplan decomposition."""
+    plan = MQOOptimizer(catalog, config.min_shared_operators).build_shared_plan(queries)
+    cost_model = _prepare(plan, config)
+    constraints = _resolve_constraints(cost_model, relative_constraints,
+                                       absolute_constraints)
+    start = time.monotonic()
+    cost_model.reset_deadline()
+    search = PaceSearch(cost_model, constraints, config.max_pace)
+    result = search.find()
+    diagnostics = {
+        "iterations": result.iterations,
+        "met": result.met_constraints,
+        "simulations": cost_model.simulation_count,
+        "actions": [],
+    }
+    plan_out, paces_out, eval_out, model_out = (
+        plan, result.pace_config, result.evaluation, cost_model
+    )
+    if config.enable_unshare:
+        outcome = decompose_full_plan(
+            plan, result.pace_config, constraints, config.max_pace,
+            cost_config=config.cost_config,
+            use_brute_force=config.brute_force_split,
+            enable_partial=config.enable_partial,
+            cost_model=cost_model,
+        )
+        plan_out, paces_out = outcome.plan, outcome.pace_config
+        eval_out, model_out = outcome.evaluation, outcome.cost_model
+        diagnostics["actions"] = outcome.actions
+    elapsed = time.monotonic() - start
+    name = "iShare" if config.enable_unshare else "iShare (w/o unshare)"
+    if config.brute_force_split and config.enable_unshare:
+        name = "iShare (Brute-Force)"
+    return OptimizationResult(
+        name, plan_out, paces_out, eval_out, model_out, constraints,
+        elapsed, diagnostics,
+    )

@@ -1,0 +1,65 @@
+"""Pace configurations.
+
+A *pace configuration* maps every subplan id to its pace: the number of
+incremental executions over the trigger window (section 2.2).  ``P_1``
+(all ones) is batch execution.  The engine requires a parent subplan's
+pace to be no larger than any of its children's.
+"""
+
+from ..errors import OptimizationError
+
+
+def batch_configuration(plan):
+    """``P_1``: every subplan at pace 1 (pure batch execution)."""
+    return {subplan.sid: 1 for subplan in plan.subplans}
+
+
+def uniform_configuration(plan, pace):
+    """Every subplan at the same pace."""
+    return {subplan.sid: pace for subplan in plan.subplans}
+
+
+def with_pace(pace_config, sid, pace):
+    """A copy of ``pace_config`` with subplan ``sid`` set to ``pace``."""
+    updated = dict(pace_config)
+    updated[sid] = pace
+    return updated
+
+
+def is_eagerer_or_equal(eager, lazy):
+    """True iff every pace in ``eager`` is >= the matching pace in ``lazy``."""
+    return all(eager[sid] >= pace for sid, pace in lazy.items())
+
+
+def validate_parent_child(plan, pace_config):
+    """Raise unless parent paces never exceed child paces."""
+    for subplan in plan.subplans:
+        pace = pace_config[subplan.sid]
+        for child in subplan.child_subplans():
+            if pace_config[child.sid] < pace:
+                raise OptimizationError(
+                    "parent subplan %d pace %d exceeds child %d pace %d"
+                    % (subplan.sid, pace, child.sid, pace_config[child.sid])
+                )
+
+
+def can_increase(plan, pace_config, sid, max_pace):
+    """True if raising ``sid``'s pace by one keeps the configuration legal."""
+    subplan = plan.subplan_by_id(sid)
+    new_pace = pace_config[sid] + 1
+    if new_pace > max_pace:
+        return False
+    return all(
+        pace_config[child.sid] >= new_pace for child in subplan.child_subplans()
+    )
+
+
+def can_decrease(plan, pace_config, sid):
+    """True if lowering ``sid``'s pace by one keeps the configuration legal."""
+    new_pace = pace_config[sid] - 1
+    if new_pace < 1:
+        return False
+    subplan = plan.subplan_by_id(sid)
+    return all(
+        pace_config[parent.sid] <= new_pace for parent in plan.parents_of(subplan)
+    )

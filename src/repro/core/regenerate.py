@@ -1,0 +1,153 @@
+"""Plan regeneration after decomposing a shared subplan (section 4.2).
+
+Replacing a shared subplan with per-partition copies can break the
+engine's requirement that a subplan's query set subsume its parents':
+a parent spanning two partitions cannot consume either partition's buffer
+alone.  Such parents are split along the partition boundaries, recursively
+upward, until the requirement holds (Figure 8, middle).  Afterwards,
+newly created subplans left with exactly one consumer are merged into
+that consumer, removing the now-pointless materialization (Figure 8,
+right: Subplan_1b + Subplan_4b -> Subplan_14b).
+
+The function also derives the *initial* pace configuration of the new
+plan per section 4.2: every new subplan inherits the pace of the subplan
+it derives from, and merged subplans take the larger of the two -- a
+configuration at least as eager as the original, which the descending
+search then corrects.
+"""
+
+from ..errors import OptimizationError
+from ..mqo.nodes import SharedQueryPlan, Subplan, SubplanRef
+from ..relational import bitvec
+
+
+def apply_split(plan, old_paces, target_sid, partitions):
+    """Decompose subplan ``target_sid`` into ``partitions`` (qid tuples).
+
+    Returns ``(new_plan, initial_paces)``.  The input ``plan`` is left
+    untouched; all surgery happens on a clone.
+    """
+    target_check = plan.subplan_by_id(target_sid)
+    covered = sorted(qid for part in partitions for qid in part)
+    if covered != sorted(target_check.query_ids()):
+        raise OptimizationError(
+            "partitions %r do not cover subplan %d's queries %r"
+            % (partitions, target_sid, target_check.query_ids())
+        )
+    if len(partitions) < 2:
+        raise OptimizationError("a split needs at least two partitions")
+
+    work = plan.clone()
+    initial_paces = dict(old_paces)
+    state = _RewriteState(work, initial_paces)
+    state.split(work.subplan_by_id(target_sid), [tuple(part) for part in partitions])
+    _merge_single_consumer_chains(work, initial_paces)
+    new_plan = SharedQueryPlan(work.catalog, work.subplans, work.query_roots, work.queries)
+    return new_plan, initial_paces
+
+
+class _RewriteState:
+    """Carries the mutable plan and pace bookkeeping through the recursion."""
+
+    def __init__(self, work, initial_paces):
+        self.work = work
+        self.initial_paces = initial_paces
+
+    def split(self, subplan, partitions):
+        """Split ``subplan`` along ``partitions``; returns aligned pieces."""
+        work = self.work
+        parents = work.parents_of(subplan)
+        inherited_pace = self.initial_paces.pop(subplan.sid)
+
+        pieces = []
+        for part in partitions:
+            keep = set(part)
+            piece = Subplan(
+                work.next_sid(),
+                subplan.root.clone(keep_queries=keep),
+                bitvec.mask_of(part),
+                label="%s/%s" % (subplan.label, "+".join("q%d" % q for q in part)),
+            )
+            self.initial_paces[piece.sid] = inherited_pace
+            pieces.append((keep, piece))
+
+        work.subplans.remove(subplan)
+        work.subplans.extend(piece for _, piece in pieces)
+        for qid, root in list(work.query_roots.items()):
+            if root is subplan:
+                work.query_roots[qid] = next(
+                    piece for keep, piece in pieces if qid in keep
+                )
+
+        for parent in parents:
+            parent_qids = set(parent.query_ids())
+            overlaps = [
+                (keep & parent_qids, piece)
+                for keep, piece in pieces
+                if keep & parent_qids
+            ]
+            if len(overlaps) == 1:
+                _retarget_refs(parent.root, subplan.sid, overlaps[0][1])
+            else:
+                parent_parts = [tuple(sorted(qids)) for qids, _ in overlaps]
+                parent_pieces = self.split(parent, parent_parts)
+                for (_, source_piece), (_, parent_piece) in zip(overlaps, parent_pieces):
+                    _retarget_refs(parent_piece.root, subplan.sid, source_piece)
+        return pieces
+
+
+def _retarget_refs(root, old_sid, new_subplan):
+    for node in root.walk():
+        if node.kind == "source" and isinstance(node.ref, SubplanRef):
+            if node.ref.subplan.sid == old_sid:
+                node.ref = SubplanRef(new_subplan)
+
+
+def _merge_single_consumer_chains(work, initial_paces):
+    """Inline subplans whose buffer has exactly one consumer.
+
+    Mergeable when: not a query root, exactly one parent, equal query
+    masks, referenced by exactly one undecorated source leaf of that
+    parent.  The merged subplan keeps the larger of the two paces
+    (section 4.2, step 2).
+    """
+    changed = True
+    while changed:
+        changed = False
+        for child in list(work.subplans):
+            if any(root is child for root in work.query_roots.values()):
+                continue
+            parents = work.parents_of(child)
+            if len(parents) != 1:
+                continue
+            parent = parents[0]
+            if parent.query_mask != child.query_mask:
+                continue
+            leaves = [
+                node
+                for node in parent.root.source_nodes()
+                if isinstance(node.ref, SubplanRef) and node.ref.subplan is child
+            ]
+            if len(leaves) != 1:
+                continue
+            leaf = leaves[0]
+            if leaf.filters or leaf.projections:
+                continue
+            if leaf is parent.root:
+                parent.root = child.root
+            else:
+                _replace_child(parent.root, leaf, child.root)
+            work.subplans.remove(child)
+            child_pace = initial_paces.pop(child.sid)
+            initial_paces[parent.sid] = max(initial_paces[parent.sid], child_pace)
+            changed = True
+            break
+
+
+def _replace_child(root, old_node, new_node):
+    for node in root.walk():
+        for index, child in enumerate(node.children):
+            if child is old_node:
+                node.children[index] = new_node
+                return
+    raise OptimizationError("node to replace not found in subplan tree")

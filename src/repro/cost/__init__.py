@@ -1,0 +1,35 @@
+"""Cost model: calibrated statistics, subplan simulation, memoized plans."""
+
+from .stats import NodeStats, EdgeStat, union_estimate, require_stats, perturb_stats
+from .model import (
+    CostConfig,
+    DEFAULT_COST_CONFIG,
+    SubplanSimResult,
+    UniformProfile,
+    LedgerProfile,
+    CollapsingProfile,
+    emissions,
+    expected_touched,
+    simulate_subplan,
+)
+from .memo import PlanCostModel, CostEvaluation, OptimizationTimeout
+
+__all__ = [
+    "NodeStats",
+    "EdgeStat",
+    "union_estimate",
+    "require_stats",
+    "perturb_stats",
+    "CostConfig",
+    "DEFAULT_COST_CONFIG",
+    "SubplanSimResult",
+    "UniformProfile",
+    "LedgerProfile",
+    "CollapsingProfile",
+    "emissions",
+    "expected_touched",
+    "simulate_subplan",
+    "PlanCostModel",
+    "CostEvaluation",
+    "OptimizationTimeout",
+]

@@ -1,0 +1,266 @@
+"""Plan-level cost evaluation with memoization (paper Algorithm 1).
+
+Estimating the total work and per-query final work of a pace
+configuration simulates every subplan bottom-up: each subplan's simulated
+output cardinality feeds its parents.  The estimated results of one
+subplan depend only on its *private pace configuration* -- the paces of
+the subplan and its descendants -- so each subplan keeps a memo table
+keyed by that private configuration (section 3.2).  The greedy pace
+search evaluates thousands of neighbouring configurations that differ in
+a single pace; with memoization only the changed subplan and its
+ancestors are ever re-simulated.
+
+``use_memo=False`` reproduces the baseline that re-simulates every
+configuration from scratch (the "iShare (w/o memo)" of Figure 15, which
+DNFs at large max paces).
+"""
+
+import time
+
+from ..errors import CostModelError
+from ..mqo.nodes import SubplanRef, TableRef
+from .model import DEFAULT_COST_CONFIG, UniformProfile, simulate_subplan
+from .stats import EdgeStat
+
+
+class CostEvaluation:
+    """Estimated cost of one pace configuration."""
+
+    __slots__ = (
+        "total_work",
+        "query_final_work",
+        "subplan_total",
+        "subplan_final",
+        "subplan_inputs",
+        "subplan_outputs",
+    )
+
+    def __init__(self):
+        self.total_work = 0.0
+        self.query_final_work = {}
+        self.subplan_total = {}
+        self.subplan_final = {}
+        self.subplan_inputs = {}
+        self.subplan_outputs = {}
+
+    def __repr__(self):
+        return "CostEvaluation(total=%.1f)" % self.total_work
+
+
+class OptimizationTimeout(CostModelError):
+    """Raised when an optimizer exceeds its time budget (the DNF case)."""
+
+
+class PlanCostModel:
+    """Cost model over one :class:`~repro.mqo.nodes.SharedQueryPlan`.
+
+    Nodes must carry calibrated statistics
+    (:func:`repro.engine.calibrate.calibrate_plan`).
+
+    Parameters
+    ----------
+    use_memo:
+        enable the per-subplan memo tables of Algorithm 1.
+    time_budget:
+        optional wall-clock seconds; :class:`OptimizationTimeout` is
+        raised from :meth:`evaluate` once exceeded (used to reproduce the
+        30-minute DNF cutoff of Figure 15 at benchmark scale).
+    """
+
+    def __init__(self, plan, config=None, use_memo=True, time_budget=None):
+        self.plan = plan
+        self.config = config or DEFAULT_COST_CONFIG
+        self.use_memo = use_memo
+        self.time_budget = time_budget
+        self._deadline = (time.monotonic() + time_budget) if time_budget else None
+        self._order = plan.topological_order()
+        self._descendants = self._compute_descendants()
+        self._memo = {subplan.sid: {} for subplan in self._order}
+        self._table_stats = {}
+        self._solo_cache = {}
+        self._feedback = {}
+        self.simulation_count = 0
+        self.evaluation_count = 0
+
+    def _compute_descendants(self):
+        sets = {}
+        for subplan in self._order:  # child-first: children already computed
+            acc = {subplan.sid}
+            for child in subplan.child_subplans():
+                acc |= sets[child.sid]
+            sets[subplan.sid] = acc
+        return {sid: tuple(sorted(acc)) for sid, acc in sets.items()}
+
+    def reset_deadline(self):
+        if self.time_budget:
+            self._deadline = time.monotonic() + self.time_budget
+
+    def _check_deadline(self):
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise OptimizationTimeout(
+                "optimization exceeded its %.1fs budget" % self.time_budget
+            )
+
+    def table_stat(self, name):
+        """The arrival profile of a base table (uniform across queries)."""
+        profile = self._table_stats.get(name)
+        if profile is None:
+            table = self.plan.catalog.get(name)
+            stat = EdgeStat(
+                total=table.log_length(),
+                deletes=table.delete_count(),
+                uniform=True,
+            )
+            profile = UniformProfile(stat, granularity=None)
+            self._table_stats[name] = profile
+        return profile
+
+    def _inputs_for(self, subplan, outputs):
+        inputs = {}
+        for ref in subplan.source_refs():
+            if isinstance(ref, TableRef):
+                inputs[ref.key()] = self.table_stat(ref.name)
+            elif isinstance(ref, SubplanRef):
+                inputs[ref.key()] = outputs[ref.subplan.sid]
+            else:
+                raise CostModelError("unknown source ref %r" % (ref,))
+        return inputs
+
+    # -- Algorithm 1 ---------------------------------------------------------
+
+    def evaluate(self, pace_config, collect_inputs=False):
+        """Estimate ``C_T(P)`` and ``C_F(P, q)`` for every query."""
+        self._check_deadline()
+        self.evaluation_count += 1
+        evaluation = CostEvaluation()
+        outputs = {}
+        for subplan in self._order:
+            key = tuple(pace_config[sid] for sid in self._descendants[subplan.sid])
+            memo = self._memo[subplan.sid]
+            cached = memo.get(key) if self.use_memo else None
+            if cached is None:
+                inputs = self._inputs_for(subplan, outputs)
+                sim = simulate_subplan(
+                    subplan, pace_config[subplan.sid], inputs, self.config
+                )
+                self.simulation_count += 1
+                cached = (sim.private_total, sim.private_final, sim.out_profile)
+                if self.use_memo:
+                    memo[key] = cached
+                self._check_deadline()
+            private_total, private_final, out_profile = cached
+            correction = self._feedback.get(subplan.sid)
+            if correction is not None:
+                private_total *= correction[0]
+                private_final *= correction[1]
+            outputs[subplan.sid] = out_profile
+            evaluation.total_work += private_total
+            evaluation.subplan_total[subplan.sid] = private_total
+            evaluation.subplan_final[subplan.sid] = private_final
+            evaluation.subplan_outputs[subplan.sid] = out_profile
+            if collect_inputs:
+                evaluation.subplan_inputs[subplan.sid] = self._inputs_for(
+                    subplan, outputs
+                )
+            for qid in subplan.query_ids():
+                evaluation.query_final_work[qid] = (
+                    evaluation.query_final_work.get(qid, 0.0) + private_final
+                )
+        for qid in self.plan.query_roots:
+            evaluation.query_final_work.setdefault(qid, 0.0)
+        return evaluation
+
+    # -- feedback calibration from prior executions -----------------------------
+
+    def apply_feedback(self, run_result, pace_config):
+        """Calibrate estimates against a measured execution (section 3.2).
+
+        The paper notes that recurring queries allow calibrating the
+        cardinality estimation from previous executions.  This derives a
+        per-subplan multiplicative correction of (total, final) work from
+        one measured :class:`~repro.engine.metrics.RunResult` under
+        ``pace_config`` and applies it to every later :meth:`evaluate`.
+        Call with ``run_result=None`` to clear the corrections.
+        """
+        if run_result is None:
+            self._feedback = {}
+            return {}
+        self._feedback = {}  # measure corrections against raw estimates
+        estimate = self.evaluate(pace_config)
+        feedback = {}
+        for subplan in self.plan.subplans:
+            sid = subplan.sid
+            est_total = estimate.subplan_total.get(sid, 0.0)
+            est_final = estimate.subplan_final.get(sid, 0.0)
+            measured_total = run_result.subplan_total_work.get(sid)
+            measured_final = run_result.subplan_final_work.get(sid)
+            total_factor = (
+                measured_total / est_total
+                if measured_total and est_total > 0 else 1.0
+            )
+            final_factor = (
+                measured_final / est_final
+                if measured_final and est_final > 0 else 1.0
+            )
+            feedback[sid] = (total_factor, final_factor)
+        self._feedback = feedback
+        return feedback
+
+    # -- solo (separate, one-batch) estimates ---------------------------------
+
+    def solo_batch(self, query_id):
+        """Estimated cost of running ``query_id`` separately in one batch.
+
+        Simulates only the query's subplans, restricted to the query's own
+        tuples, with pace 1.  Returns ``(total_work, {sid: work})``.  This
+        is the denominator of relative final-work constraints and the
+        basis of the per-subplan local constraint fractions (section
+        4.1.1).
+        """
+        cached = self._solo_cache.get(query_id)
+        if cached is not None:
+            return cached
+        outputs = {}
+        per_subplan = {}
+        for subplan in self.plan.subplans_of_query(query_id):
+            inputs = {}
+            for ref in subplan.source_refs():
+                if isinstance(ref, TableRef):
+                    inputs[ref.key()] = self.table_stat(ref.name)
+                else:
+                    inputs[ref.key()] = outputs[ref.subplan.sid]
+            sim = simulate_subplan(
+                subplan, 1, inputs, self.config, query_subset=(query_id,)
+            )
+            outputs[subplan.sid] = sim.out_profile
+            per_subplan[subplan.sid] = sim.private_total
+        result = (sum(per_subplan.values()), per_subplan)
+        self._solo_cache[query_id] = result
+        return result
+
+    def absolute_constraints(self, relative_constraints):
+        """Translate relative constraints into absolute final-work bounds."""
+        absolute = {}
+        for qid, relative in relative_constraints.items():
+            total, _ = self.solo_batch(qid)
+            absolute[qid] = relative * total
+        return absolute
+
+    def local_constraints(self, subplan, absolute_constraints):
+        """Per-query local final-work constraints of one subplan.
+
+        Each query's absolute constraint is scaled by the fraction of the
+        query's solo one-batch work done by this subplan's operators
+        (section 4.1.1).
+        """
+        local = {}
+        for qid in subplan.query_ids():
+            if qid not in absolute_constraints:
+                continue
+            total, per_subplan = self.solo_batch(qid)
+            if total <= 0:
+                local[qid] = absolute_constraints[qid]
+                continue
+            fraction = per_subplan.get(subplan.sid, 0.0) / total
+            local[qid] = absolute_constraints[qid] * fraction
+        return local

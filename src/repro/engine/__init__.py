@@ -1,0 +1,32 @@
+"""Execution engine: buffers, stream simulation, pace-driven executor."""
+
+from .buffers import Buffer, BufferReader
+from .stream import StreamConfig, TableStream, execution_fractions
+from .executor import PlanExecutor, query_result_view
+from .metrics import (
+    ExecutionRecord,
+    RunResult,
+    MissedLatencySummary,
+    missed_latency,
+)
+from .calibrate import CalibrationResult, calibrate_plan
+from .compare import results_close, assert_results_close, normalize_rows
+
+__all__ = [
+    "Buffer",
+    "BufferReader",
+    "StreamConfig",
+    "TableStream",
+    "execution_fractions",
+    "PlanExecutor",
+    "query_result_view",
+    "ExecutionRecord",
+    "RunResult",
+    "MissedLatencySummary",
+    "missed_latency",
+    "CalibrationResult",
+    "calibrate_plan",
+    "results_close",
+    "assert_results_close",
+    "normalize_rows",
+]

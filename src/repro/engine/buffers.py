@@ -1,0 +1,60 @@
+"""Materialization buffers with per-consumer offsets.
+
+Every subplan whose output is consumed by other subplans materializes its
+deltas into a :class:`Buffer` (the paper uses Kafka topics for this);
+base-relation delta logs are buffers too.  Each consumer holds a
+:class:`BufferReader` that tracks the offset of the deltas it has already
+processed, so parents with different paces independently drain the same
+buffer (paper section 2.2).
+"""
+
+
+class Buffer:
+    """An append-only delta log."""
+
+    __slots__ = ("name", "deltas")
+
+    def __init__(self, name):
+        self.name = name
+        self.deltas = []
+
+    def append(self, deltas):
+        self.deltas.extend(deltas)
+
+    def __len__(self):
+        return len(self.deltas)
+
+    def reader(self):
+        return BufferReader(self)
+
+    def __repr__(self):
+        return "Buffer(%r, %d deltas)" % (self.name, len(self.deltas))
+
+
+class BufferReader:
+    """A consumer cursor over a :class:`Buffer`."""
+
+    __slots__ = ("buffer", "offset")
+
+    def __init__(self, buffer):
+        self.buffer = buffer
+        self.offset = 0
+
+    def read_new(self):
+        """All deltas appended since the previous call."""
+        deltas = self.buffer.deltas
+        if self.offset >= len(deltas):
+            return []
+        new = deltas[self.offset:]
+        self.offset = len(deltas)
+        return new
+
+    def remaining(self):
+        return len(self.buffer.deltas) - self.offset
+
+    def __repr__(self):
+        return "BufferReader(%r @ %d/%d)" % (
+            self.buffer.name,
+            self.offset,
+            len(self.buffer.deltas),
+        )

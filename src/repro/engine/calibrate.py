@@ -1,0 +1,105 @@
+"""Calibration: one instrumented batch run fills per-node statistics.
+
+Mirrors the paper's use of historical statistics (sections 2.1, 3.2): a
+recurring query's prior executions tell the optimizer the cardinalities
+it needs.  :func:`calibrate_plan` runs the plan once in batch mode
+(every pace 1) with statistics collection enabled and attaches a
+:class:`~repro.cost.stats.NodeStats` to every plan node.
+"""
+
+from ..cost.stats import NodeStats
+from ..physical.operators import AggregateExec, JoinExec, SourceExec
+from .executor import PlanExecutor
+from .stream import StreamConfig
+
+
+class CalibrationResult:
+    """Outcome of a calibration run.
+
+    Attributes
+    ----------
+    run:
+        the batch :class:`~repro.engine.metrics.RunResult`.
+    query_batch_work:
+        per-query total work units of the batch run, summed over the
+        query's subplans.  For an *unshared* plan this is the paper's
+        "final work of separately executing the query in one batch" --
+        the denominator of relative final-work constraints.
+    query_batch_latency:
+        the same, converted to seconds.
+    """
+
+    def __init__(self, run, query_batch_work, query_batch_latency):
+        self.run = run
+        self.query_batch_work = query_batch_work
+        self.query_batch_latency = query_batch_latency
+
+    def __repr__(self):
+        return "CalibrationResult(total_work=%.1f)" % self.run.total_work
+
+
+def calibrate_plan(plan, stream_config=None):
+    """Run ``plan`` in batch mode and attach statistics to its nodes."""
+    stream_config = stream_config or StreamConfig()
+    executor = PlanExecutor(plan, stream_config, stats_mode=True)
+    paces = {subplan.sid: 1 for subplan in plan.subplans}
+    run = executor.run(paces, collect_results=False)
+
+    for unit in executor.compiled.values():
+        _collect_stats(unit.root_exec)
+
+    query_batch_work = {}
+    query_batch_latency = {}
+    for qid in plan.query_roots:
+        work = sum(
+            run.subplan_total_work.get(subplan.sid, 0.0)
+            for subplan in plan.subplans_of_query(qid)
+        )
+        query_batch_work[qid] = work
+        query_batch_latency[qid] = stream_config.seconds(work)
+    return CalibrationResult(run, query_batch_work, query_batch_latency)
+
+
+def _collect_stats(exec_op):
+    if isinstance(exec_op, SourceExec):
+        stats = NodeStats("source")
+        stats.scanned_total = float(exec_op.scanned_total)
+        stats.kept_total = float(exec_op.kept_total)
+        stats.kept_per_q = {q: float(c) for q, c in exec_op.kept_per_q.items()}
+        _fill_filter_sel(stats, exec_op.decorations)
+        exec_op.node.stats = stats
+        return
+    if isinstance(exec_op, JoinExec):
+        _collect_stats(exec_op.left)
+        _collect_stats(exec_op.right)
+        stats = NodeStats("join")
+        stats.in_left = float(exec_op.in_left)
+        stats.in_right = float(exec_op.in_right)
+        stats.in_left_per_q = {q: float(c) for q, c in exec_op.in_left_per_q.items()}
+        stats.in_right_per_q = {q: float(c) for q, c in exec_op.in_right_per_q.items()}
+        stats.join_out = float(exec_op.out_total)
+        stats.join_out_per_q = {q: float(c) for q, c in exec_op.out_per_q.items()}
+        _fill_filter_sel(stats, exec_op.decorations)
+        exec_op.node.stats = stats
+        return
+    if isinstance(exec_op, AggregateExec):
+        _collect_stats(exec_op.child)
+        stats = NodeStats("aggregate")
+        stats.agg_in = float(exec_op.in_total)
+        stats.agg_in_per_q = {q: float(c) for q, c in exec_op.in_per_q.items()}
+        stats.groups_union = float(exec_op.group_count())
+        stats.groups_per_q = {
+            q: float(exec_op.group_count(q)) for q in exec_op.in_per_q
+        }
+        stats.agg_out = float(exec_op.out_total)
+        stats.has_minmax = any(spec.func in ("min", "max") for spec in exec_op.specs)
+        _fill_filter_sel(stats, exec_op.decorations)
+        exec_op.node.stats = stats
+        return
+    raise TypeError("unknown physical operator %r" % (exec_op,))
+
+
+def _fill_filter_sel(stats, decorations):
+    for qid, in_count in decorations.filter_in_per_q.items():
+        out_count = decorations.filter_out_per_q.get(qid, 0)
+        stats.filter_sel_per_q[qid] = (out_count / in_count) if in_count else 1.0

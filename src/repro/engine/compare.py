@@ -1,0 +1,42 @@
+"""Comparing query results across plans and paces.
+
+Incremental execution sums floating-point values in a different order
+than batch execution, so result rows can differ in the last few ulps.
+:func:`results_close` compares two net result multisets
+(``{row: count}`` as produced by
+:func:`~repro.engine.executor.query_result_view`) with float rounding.
+"""
+
+
+def normalize_rows(result, digits=4):
+    """Canonicalize a result multiset by rounding float components."""
+    normalized = {}
+    for row, count in result.items():
+        key = tuple(
+            round(value, digits) if isinstance(value, float) else value
+            for value in row
+        )
+        normalized[key] = normalized.get(key, 0) + count
+    return normalized
+
+
+def results_close(left, right, digits=4):
+    """True if two result multisets agree up to float rounding."""
+    return normalize_rows(left, digits) == normalize_rows(right, digits)
+
+
+def assert_results_close(left, right, digits=4, context=""):
+    """Raise ``AssertionError`` with a readable diff when results differ."""
+    a = normalize_rows(left, digits)
+    b = normalize_rows(right, digits)
+    if a == b:
+        return
+    only_left = sorted(set(a) - set(b), key=repr)[:5]
+    only_right = sorted(set(b) - set(a), key=repr)[:5]
+    count_diffs = [
+        (key, a[key], b[key]) for key in set(a) & set(b) if a[key] != b[key]
+    ][:5]
+    raise AssertionError(
+        "results differ%s: only-left=%r only-right=%r count-diffs=%r"
+        % (" (%s)" % context if context else "", only_left, only_right, count_diffs)
+    )

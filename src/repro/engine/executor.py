@@ -1,0 +1,236 @@
+"""The pace-driven incremental executor.
+
+Given a :class:`~repro.mqo.nodes.SharedQueryPlan` and a pace
+configuration, the executor simulates the loading window: at every system
+progress fraction where some subplan is due, newly arrived base-table
+deltas are appended to the table logs and the due subplans run one
+incremental execution each, children before parents (paper section 5.1).
+Subplan outputs are materialized into buffers that parents drain at their
+own offsets.
+
+All state (hash tables, aggregate groups, buffer offsets) persists across
+the incremental executions of one run; a new :meth:`PlanExecutor.run`
+starts from scratch.
+"""
+
+from fractions import Fraction
+
+from ..errors import ExecutionError
+from ..mqo.nodes import SubplanRef, TableRef
+from ..physical.operators import AggregateExec, JoinExec, SourceExec
+from ..physical.work import WorkMeter
+from ..relational.tuples import consolidate
+from .buffers import Buffer
+from .metrics import ExecutionRecord, RunResult
+from .stream import StreamConfig, TableStream, execution_fractions
+
+
+class CompiledSubplan:
+    """A subplan's physical operator tree plus its work meter and buffer."""
+
+    __slots__ = ("subplan", "meter", "root_exec", "buffer", "executions")
+
+    def __init__(self, subplan, meter, root_exec, buffer):
+        self.subplan = subplan
+        self.meter = meter
+        self.root_exec = root_exec
+        self.buffer = buffer
+        self.executions = 0
+
+    def run_execution(self, overhead):
+        """One incremental execution.
+
+        Returns ``(work, latency_work, output_deltas)``; ``latency_work``
+        excludes the post-emission state-store maintenance charge.
+        """
+        before = self.meter.total
+        state_before = self.meter.state_units
+        out = self.root_exec.advance()
+        self.buffer.append(out)
+        self.executions += 1
+        work = self.meter.total - before + overhead
+        state_delta = self.meter.state_units - state_before
+        return work, work - state_delta, out
+
+
+class PlanExecutor:
+    """Executes a shared plan under pace configurations."""
+
+    def __init__(self, plan, stream_config=None, stats_mode=False, catalog=None):
+        self.plan = plan
+        self.stream_config = stream_config or StreamConfig()
+        self.stats_mode = stats_mode
+        #: optional catalog override: execute the same plan against a
+        #: different day's data (recurring queries re-run over each new
+        #: trigger window while the plan/statistics come from history)
+        self.catalog = catalog or plan.catalog
+        self.compiled = None  # filled per run
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self):
+        table_streams = {}
+        table_buffers = {}
+        for subplan in self.plan.topological_order():
+            for name in subplan.base_tables():
+                if name not in table_buffers:
+                    table = self.catalog.get(name)
+                    table_streams[name] = TableStream(table)
+                    table_buffers[name] = Buffer("table:%s" % name)
+        compiled = {}
+        order = self.plan.topological_order()
+        for subplan in order:
+            meter = WorkMeter()
+            root_exec = self._compile_node(
+                subplan.root, subplan, meter, table_buffers, compiled
+            )
+            buffer = Buffer("subplan:%d" % subplan.sid)
+            compiled[subplan.sid] = CompiledSubplan(subplan, meter, root_exec, buffer)
+        return table_streams, table_buffers, compiled, order
+
+    def _compile_node(self, node, subplan, meter, table_buffers, compiled):
+        mask = subplan.query_mask
+        if node.kind == "source":
+            ref = node.ref
+            consolidate_reads = False
+            if isinstance(ref, TableRef):
+                reader = table_buffers[ref.name].reader()
+            elif isinstance(ref, SubplanRef):
+                child = compiled.get(ref.subplan.sid)
+                if child is None:
+                    raise ExecutionError(
+                        "subplan %d compiled before its child %d"
+                        % (subplan.sid, ref.subplan.sid)
+                    )
+                reader = child.buffer.reader()
+                # compacted inter-subplan buffers (ablation-toggleable)
+                consolidate_reads = self.stream_config.compact_buffers
+            else:
+                raise ExecutionError("unknown source ref %r" % (ref,))
+            return SourceExec(
+                node, reader, mask, meter, self.stats_mode,
+                consolidate_reads=consolidate_reads,
+            )
+        children = [
+            self._compile_node(child, subplan, meter, table_buffers, compiled)
+            for child in node.children
+        ]
+        state_factor = self.stream_config.state_factor
+        if node.kind == "join":
+            return JoinExec(
+                node, children[0], children[1], meter, self.stats_mode,
+                state_factor=state_factor,
+            )
+        return AggregateExec(
+            node, children[0], mask, meter, self.stats_mode,
+            state_factor=state_factor,
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, pace_config, collect_results=True):
+        """Execute the plan under ``pace_config`` (``{sid: pace}``).
+
+        Returns a :class:`~repro.engine.metrics.RunResult`.
+        """
+        self._validate_paces(pace_config)
+        fractions = {
+            subplan.sid: execution_fractions(pace_config[subplan.sid])
+            for subplan in self.plan.subplans
+        }
+        return self.run_schedule(fractions, pace_config, collect_results)
+
+    def run_schedule(self, fractions, pace_config=None, collect_results=True):
+        """Execute with explicit per-subplan execution fractions.
+
+        ``fractions`` maps subplan id to an ascending list of progress
+        fractions in ``(0, 1]``; every subplan must include an execution
+        at 1 (the trigger point).  This generalizes pace-based runs --
+        e.g. the paper's "simple approach" baseline executes once before
+        the trigger and once at it.
+        """
+        table_streams, table_buffers, compiled, order = self._compile()
+        self.compiled = compiled
+
+        one = Fraction(1)
+        schedule = {}
+        for subplan in order:
+            points = [Fraction(f) for f in fractions[subplan.sid]]
+            if not points or points[-1] != one:
+                raise ExecutionError(
+                    "subplan %d must execute at the trigger point" % subplan.sid
+                )
+            for fraction in points:
+                schedule.setdefault(fraction, []).append(subplan.sid)
+
+        if pace_config is None:
+            pace_config = {sid: len(points) for sid, points in fractions.items()}
+        result = RunResult(pace_config, self.stream_config)
+        overhead = self.stream_config.execution_overhead
+        for fraction in sorted(schedule):
+            for name, stream in table_streams.items():
+                new_deltas = stream.deltas_until(fraction)
+                if new_deltas:
+                    table_buffers[name].append(new_deltas)
+            due = set(schedule[fraction])
+            for subplan in order:  # child-first within one trigger point
+                if subplan.sid not in due:
+                    continue
+                unit = compiled[subplan.sid]
+                work, latency_work, out = unit.run_execution(overhead)
+                record = ExecutionRecord(
+                    subplan.sid, fraction, work, len(out), latency_work
+                )
+                result.add_record(record, is_final=(fraction == one))
+
+        for qid, root in self.plan.query_roots.items():
+            final = sum(
+                result.subplan_final_work.get(subplan.sid, 0.0)
+                for subplan in self.plan.subplans_of_query(qid)
+            )
+            result.query_final_work[qid] = final
+            if collect_results:
+                result.query_results[qid] = query_result_view(
+                    self.plan, qid, compiled[root.sid].buffer.deltas
+                )
+        return result
+
+    def _validate_paces(self, pace_config):
+        for subplan in self.plan.subplans:
+            if subplan.sid not in pace_config:
+                raise ExecutionError("no pace for subplan %d" % subplan.sid)
+            pace = pace_config[subplan.sid]
+            for child in subplan.child_subplans():
+                if pace_config[child.sid] < pace:
+                    raise ExecutionError(
+                        "parent subplan %d pace %d exceeds child %d pace %d"
+                        % (subplan.sid, pace, child.sid, pace_config[child.sid])
+                    )
+
+
+def query_result_view(plan, query_id, root_deltas):
+    """Net result multiset ``{row: count}`` of one query from its root buffer.
+
+    Filters the buffer by the query's bit, consolidates retractions, and
+    projects the shared union schema down to the query's own output
+    columns (the per-query projection recorded at the root node).
+    """
+    root_subplan = plan.query_roots[query_id]
+    node = root_subplan.root
+    out_schema = node.out_schema
+    projection = node.projections.get(query_id)
+    if projection is not None:
+        names = [alias for alias, _ in projection]
+    else:
+        names = list(node.core_schema.names())
+    indexes = [out_schema.index_of(name) for name in names]
+
+    mask = 1 << query_id
+    relevant = [d for d in root_deltas if d.bits & mask]
+    net = {}
+    for delta in consolidate(relevant):
+        projected = tuple(delta.row[i] for i in indexes)
+        net[projected] = net.get(projected, 0) + delta.sign
+        if net[projected] == 0:
+            del net[projected]
+    return net

@@ -1,0 +1,125 @@
+"""Run metrics: total work, final work, latency, missed latency.
+
+Definitions follow the paper exactly (sections 2.1 and 5.1):
+
+* **total work** -- units of work done by all incremental executions of
+  all subplans; the proxy for CPU consumption / total execution time.
+* **final work** of a query -- the sum of the work of the *final*
+  executions (the ones at the trigger point) of the query's subplans; the
+  proxy for the query's latency.
+* **latency** -- final work converted to seconds at the configured rate.
+* **missed latency** -- ``max(0, tested latency - latency goal)``
+  absolute, and that value divided by the goal as the relative form.
+"""
+
+
+class ExecutionRecord:
+    """One incremental execution of one subplan.
+
+    ``work`` is the full charge (including state-store maintenance);
+    ``latency_work`` excludes the state-maintenance portion, which is
+    committed after results are emitted and therefore does not delay the
+    query's answer.
+    """
+
+    __slots__ = ("sid", "fraction", "work", "latency_work", "output_count")
+
+    def __init__(self, sid, fraction, work, output_count, latency_work=None):
+        self.sid = sid
+        self.fraction = fraction
+        self.work = work
+        self.latency_work = work if latency_work is None else latency_work
+        self.output_count = output_count
+
+    def __repr__(self):
+        return "ExecutionRecord(sp%d @ %s, work=%.1f, out=%d)" % (
+            self.sid,
+            self.fraction,
+            self.work,
+            self.output_count,
+        )
+
+
+class RunResult:
+    """The measured outcome of executing a plan under a pace configuration."""
+
+    def __init__(self, pace_config, stream_config):
+        self.pace_config = dict(pace_config)
+        self.stream_config = stream_config
+        self.records = []
+        self.total_work = 0.0
+        self.subplan_total_work = {}
+        self.subplan_final_work = {}
+        self.query_final_work = {}
+        self.query_results = {}
+
+    def add_record(self, record, is_final):
+        self.records.append(record)
+        self.total_work += record.work
+        self.subplan_total_work[record.sid] = (
+            self.subplan_total_work.get(record.sid, 0.0) + record.work
+        )
+        if is_final:
+            self.subplan_final_work[record.sid] = record.latency_work
+
+    @property
+    def total_seconds(self):
+        return self.stream_config.seconds(self.total_work)
+
+    def query_latency_seconds(self, query_id):
+        return self.stream_config.seconds(self.query_final_work[query_id])
+
+    def executions_of(self, sid):
+        return [record for record in self.records if record.sid == sid]
+
+    def __repr__(self):
+        return "RunResult(total_work=%.1f, %d executions)" % (
+            self.total_work,
+            len(self.records),
+        )
+
+
+def missed_latency(tested_seconds, goal_seconds):
+    """``(absolute, relative)`` missed latency versus a goal (section 5.1)."""
+    absolute = max(0.0, tested_seconds - goal_seconds)
+    relative = absolute / goal_seconds if goal_seconds > 0 else 0.0
+    return absolute, relative
+
+
+class MissedLatencySummary:
+    """Mean/max absolute and relative missed latency over a query batch.
+
+    This is the Table 1/2/3 row shape: Mean %, Mean Sec., Max %, Max Sec.
+    """
+
+    def __init__(self):
+        self.absolute = []
+        self.relative = []
+
+    def add(self, tested_seconds, goal_seconds):
+        absolute, relative = missed_latency(tested_seconds, goal_seconds)
+        self.absolute.append(absolute)
+        self.relative.append(relative)
+
+    @property
+    def mean_seconds(self):
+        return sum(self.absolute) / len(self.absolute) if self.absolute else 0.0
+
+    @property
+    def max_seconds(self):
+        return max(self.absolute) if self.absolute else 0.0
+
+    @property
+    def mean_percent(self):
+        return 100.0 * sum(self.relative) / len(self.relative) if self.relative else 0.0
+
+    @property
+    def max_percent(self):
+        return 100.0 * max(self.relative) if self.relative else 0.0
+
+    def row(self):
+        """``(mean %, mean sec, max %, max sec)`` as the paper tabulates."""
+        return (self.mean_percent, self.mean_seconds, self.max_percent, self.max_seconds)
+
+    def __repr__(self):
+        return "MissedLatency(mean=%.2f%%/%.2fs, max=%.2f%%/%.2fs)" % self.row()

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro (iShare) library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses partition errors into
+the layers of the system: schema/expression problems, plan construction
+problems, optimization problems, and execution problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a referenced column does not exist."""
+
+
+class ExpressionError(ReproError):
+    """An expression is malformed or cannot be bound to a schema."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed."""
+
+
+class ParseError(ReproError):
+    """The SQL subset parser rejected its input."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "%s (at position %d)" % (message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class OptimizationError(ReproError):
+    """An optimizer precondition was violated."""
+
+
+class ExecutionError(ReproError):
+    """The incremental executor hit an inconsistent state."""
+
+
+class CostModelError(ReproError):
+    """The cost model was asked about an operator it has no statistics for."""

@@ -1,0 +1,78 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.harness fig9  --scale 0.5 --max-pace 100
+    python -m repro.harness fig11 --scale 0.4
+    python -m repro.harness all   --scale 0.3 --max-pace 50
+
+Each experiment prints the same rows/series the paper's figure or table
+reports.  See EXPERIMENTS.md for expected shapes.
+"""
+
+import argparse
+import sys
+import time
+
+from . import experiments
+
+EXPERIMENTS = {
+    "fig9": lambda args, config: experiments.fig9(
+        args.scale, args.max_pace, config=config
+    ),
+    "fig10": lambda args, config: experiments.fig10(args.scale, config=config),
+    "fig11": lambda args, config: experiments.fig11(
+        args.scale, args.max_pace, config=config
+    ),
+    "fig12": lambda args, config: experiments.fig12(
+        args.scale, args.max_pace, config=config
+    ),
+    "fig13": lambda args, config: experiments.fig13(
+        args.scale, args.max_pace, config=config
+    ),
+    "fig14": lambda args, config: experiments.fig14(
+        args.scale, args.max_pace, config=config
+    ),
+    "fig15": lambda args, config: experiments.fig15(args.scale),
+    "fig16": lambda args, config: experiments.fig16(
+        args.scale, args.max_pace, config=config
+    ),
+    "fig17": lambda args, config: experiments.fig17(
+        args.scale, args.max_pace, config=config
+    ),
+    "table1": lambda args, config: experiments.table1(
+        args.scale, args.max_pace, config=config
+    ),
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the iShare paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="TPC-H micro scale factor (default 0.4)")
+    parser.add_argument("--max-pace", type=int, default=100,
+                        help="max pace J (default 100, as in the paper)")
+    parser.add_argument("--state-factor", type=float, default=0.3,
+                        help="per-entry state maintenance charge")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        config = experiments.default_config(args.max_pace, args.state_factor)
+        started = time.monotonic()
+        result = EXPERIMENTS[name](args, config)
+        print(result.text())
+        print("\n[%s finished in %.1fs]\n" % (name, time.monotonic() - started))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

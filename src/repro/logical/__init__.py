@@ -1,0 +1,27 @@
+"""Logical plans: operator trees, the fluent builder, signatures."""
+
+from .ops import (
+    LogicalOp,
+    Scan,
+    Select,
+    Project,
+    Join,
+    Aggregate,
+    Query,
+    format_plan,
+)
+from .builder import PlanBuilder, scan, validate_query_ids
+
+__all__ = [
+    "LogicalOp",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Query",
+    "format_plan",
+    "PlanBuilder",
+    "scan",
+    "validate_query_ids",
+]

@@ -1,0 +1,69 @@
+"""Graphviz export of shared plans.
+
+``plan_to_dot`` renders the subplan DAG -- one cluster per subplan with
+its operator tree, buffer edges between subplans, and query-output
+edges -- for debugging decompositions and documenting plans::
+
+    from repro.mqo.dot import plan_to_dot
+    open("plan.dot", "w").write(plan_to_dot(plan))
+    # dot -Tsvg plan.dot -o plan.svg
+"""
+
+from ..relational import bitvec
+from .nodes import SubplanRef, TableRef
+
+
+def _node_label(node):
+    if node.kind == "source":
+        ref = node.ref
+        base = "scan %s" % (ref.name if isinstance(ref, TableRef)
+                            else "buffer sp%d" % ref.subplan.sid)
+    elif node.kind == "join":
+        base = "join %s=%s" % (",".join(node.left_keys), ",".join(node.right_keys))
+    else:
+        group = ",".join(node.group_by) if node.group_by else "()"
+        aggs = ",".join("%s->%s" % (s.func, s.alias) for s in node.aggs)
+        base = "agg[%s] %s" % (group, aggs)
+    marks = []
+    if node.filters:
+        marks.append("σ*{%s}" % ",".join("q%d" % q for q in sorted(node.filters)))
+    if node.projections:
+        marks.append("π{%s}" % ",".join("q%d" % q for q in sorted(node.projections)))
+    if marks:
+        base += r"\n" + " ".join(marks)
+    return base
+
+
+def plan_to_dot(plan, title=None):
+    """Render a :class:`~repro.mqo.nodes.SharedQueryPlan` as DOT text."""
+    lines = ["digraph shared_plan {", '  rankdir="BT";', '  node [shape=box, fontsize=10];']
+    if title:
+        lines.append('  label="%s";' % title)
+
+    buffer_edges = []
+    for subplan in plan.topological_order():
+        lines.append('  subgraph "cluster_sp%d" {' % subplan.sid)
+        lines.append(
+            '    label="subplan %d  %s  queries=%s";'
+            % (subplan.sid, subplan.label,
+               bitvec.format_mask(subplan.query_mask))
+        )
+        for node in subplan.root.walk():
+            lines.append('    n%d [label="%s"];' % (node.uid, _node_label(node)))
+            for child in node.children:
+                lines.append("    n%d -> n%d;" % (child.uid, node.uid))
+            if node.kind == "source" and isinstance(node.ref, SubplanRef):
+                buffer_edges.append((node.ref.subplan, node))
+        lines.append("  }")
+
+    for child_subplan, consumer_node in buffer_edges:
+        lines.append(
+            '  n%d -> n%d [style=dashed, label="buffer"];'
+            % (child_subplan.root.uid, consumer_node.uid)
+        )
+    for qid in sorted(plan.query_roots):
+        root = plan.query_roots[qid]
+        lines.append('  q%d [shape=ellipse, label="q%d output"];' % (qid, qid))
+        lines.append("  n%d -> q%d;" % (root.root.uid, qid))
+    lines.append("}")
+    return "\n".join(lines)

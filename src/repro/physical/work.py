@@ -1,0 +1,64 @@
+"""Work accounting.
+
+The paper quantifies *total work* and *final work* with the DBMS cost
+model, e.g. "the number of tuples processed by all operators" (section
+2.1).  We use exactly that unit: every operator charges one unit per input
+delta record it processes and one unit per output delta record it emits;
+MIN/MAX aggregates additionally charge one unit per stored value rescanned
+when a deletion removes the current extremum (the section 5.3 Q15 effect).
+
+:class:`WorkMeter` aggregates these charges per operator and per subplan
+execution; the engine converts work units to seconds with a fixed
+``work_rate`` when reporting latencies.
+"""
+
+
+class WorkMeter:
+    """Mutable counter shared by the physical operators of one subplan."""
+
+    __slots__ = ("input_units", "output_units", "rescan_units", "state_units",
+                 "per_operator")
+
+    def __init__(self):
+        self.input_units = 0
+        self.output_units = 0
+        self.rescan_units = 0
+        self.state_units = 0.0
+        self.per_operator = {}
+
+    def charge_input(self, operator_name, units):
+        self.input_units += units
+        self._charge(operator_name, units)
+
+    def charge_output(self, operator_name, units):
+        self.output_units += units
+        self._charge(operator_name, units)
+
+    def charge_rescan(self, operator_name, units):
+        self.rescan_units += units
+        self._charge(operator_name, units)
+
+    def charge_state(self, operator_name, units):
+        """Per-execution state-store maintenance (see StreamConfig)."""
+        self.state_units += units
+        self._charge(operator_name, units)
+
+    def _charge(self, operator_name, units):
+        self.per_operator[operator_name] = self.per_operator.get(operator_name, 0) + units
+
+    @property
+    def total(self):
+        return (self.input_units + self.output_units + self.rescan_units
+                + self.state_units)
+
+    def snapshot(self):
+        """Copy of the per-operator totals (for calibration reports)."""
+        return dict(self.per_operator)
+
+    def __repr__(self):
+        return "WorkMeter(in=%d, out=%d, rescan=%d, state=%.0f)" % (
+            self.input_units,
+            self.output_units,
+            self.rescan_units,
+            self.state_units,
+        )

@@ -1,0 +1,53 @@
+"""Relational substrate: schemas, tables, deltas, bitvectors, expressions."""
+
+from .schema import Column, Schema, INT, FLOAT, STR, DATE
+from .table import Table, Catalog
+from .tuples import Delta, DeltaBatch, INSERT, DELETE, consolidate
+from .expressions import (
+    Expression,
+    Col,
+    Const,
+    col,
+    lift,
+    starts_with,
+    contains,
+    AggSpec,
+    agg_sum,
+    agg_count,
+    agg_avg,
+    agg_min,
+    agg_max,
+    TRUE,
+)
+from . import bitvec
+
+__all__ = [
+    "Column",
+    "Schema",
+    "INT",
+    "FLOAT",
+    "STR",
+    "DATE",
+    "Table",
+    "Catalog",
+    "Delta",
+    "DeltaBatch",
+    "INSERT",
+    "DELETE",
+    "consolidate",
+    "Expression",
+    "Col",
+    "Const",
+    "col",
+    "lift",
+    "starts_with",
+    "contains",
+    "AggSpec",
+    "agg_sum",
+    "agg_count",
+    "agg_avg",
+    "agg_min",
+    "agg_max",
+    "TRUE",
+    "bitvec",
+]

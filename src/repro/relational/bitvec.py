@@ -1,0 +1,64 @@
+"""Query-set bitvectors (SharedDB-style tuple annotations).
+
+In a shared plan every intermediate tuple carries a bitvector ``B`` where
+bit ``i`` says "this tuple is valid for query ``i``" (Giannikis et al.,
+SharedDB).  We represent bitvectors as plain Python ints, which gives
+arbitrary width, O(1) AND/OR, and cheap hashing for free.
+
+The module also provides the tiny amount of arithmetic the engine needs:
+building masks from query-id collections, iterating set bits, and popcount.
+"""
+
+
+def bit(query_id):
+    """The bitvector with only ``query_id`` set."""
+    if query_id < 0:
+        raise ValueError("query ids must be non-negative, got %d" % query_id)
+    return 1 << query_id
+
+
+def mask_of(query_ids):
+    """The bitvector with every id in ``query_ids`` set."""
+    mask = 0
+    for query_id in query_ids:
+        mask |= bit(query_id)
+    return mask
+
+
+def iter_bits(mask):
+    """Yield the query ids whose bits are set in ``mask``, ascending.
+
+    >>> list(iter_bits(0b1010))
+    [1, 3]
+    """
+    query_id = 0
+    while mask:
+        if mask & 1:
+            yield query_id
+        mask >>= 1
+        query_id += 1
+
+
+def to_ids(mask):
+    """The sorted tuple of query ids set in ``mask``."""
+    return tuple(iter_bits(mask))
+
+
+def popcount(mask):
+    """Number of set bits."""
+    return bin(mask).count("1")
+
+
+def subsumes(outer, inner):
+    """True if every bit of ``inner`` is also set in ``outer``.
+
+    The shared execution engine requires that the query set of a subplan
+    subsume the query sets of its parent subplans (paper section 2.2); this
+    predicate implements that check.
+    """
+    return inner & ~outer == 0
+
+
+def format_mask(mask):
+    """Human-readable rendering, e.g. ``{q0,q2}``."""
+    return "{%s}" % ",".join("q%d" % i for i in iter_bits(mask))

@@ -1,0 +1,457 @@
+"""Scalar expressions, predicates and aggregate specifications.
+
+Expressions are small immutable trees (column references, constants,
+arithmetic, comparisons, boolean connectives).  They support:
+
+* **binding**: :meth:`Expression.compile` turns an expression into a plain
+  Python closure ``row -> value`` against a concrete :class:`~repro
+  .relational.schema.Schema`, so per-tuple evaluation costs one function
+  call and tuple indexing rather than a tree walk;
+* **signatures**: :meth:`Expression.signature` produces the canonical
+  string used by the MQO optimizer's sharability test (paper section 2.3);
+* **introspection**: :meth:`Expression.columns` lists referenced columns.
+
+A convenient builder DSL is provided through operator overloading::
+
+    pred = (col("p_brand") == "Brand#23") & (col("p_size") < 15)
+"""
+
+import operator
+
+from ..errors import ExpressionError
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    def columns(self):
+        """The set of column names this expression references."""
+        acc = set()
+        self._collect_columns(acc)
+        return acc
+
+    def _collect_columns(self, acc):
+        raise NotImplementedError
+
+    def compile(self, schema):
+        """Return a closure ``row -> value`` bound to ``schema``."""
+        raise NotImplementedError
+
+    def signature(self):
+        """A canonical string identifying this expression."""
+        raise NotImplementedError
+
+    # -- builder DSL -------------------------------------------------------
+
+    def __add__(self, other):
+        return BinaryOp("+", self, lift(other))
+
+    def __radd__(self, other):
+        return BinaryOp("+", lift(other), self)
+
+    def __sub__(self, other):
+        return BinaryOp("-", self, lift(other))
+
+    def __rsub__(self, other):
+        return BinaryOp("-", lift(other), self)
+
+    def __mul__(self, other):
+        return BinaryOp("*", self, lift(other))
+
+    def __rmul__(self, other):
+        return BinaryOp("*", lift(other), self)
+
+    def __truediv__(self, other):
+        return BinaryOp("/", self, lift(other))
+
+    def __rtruediv__(self, other):
+        return BinaryOp("/", lift(other), self)
+
+    def __floordiv__(self, other):
+        return BinaryOp("//", self, lift(other))
+
+    def __rfloordiv__(self, other):
+        return BinaryOp("//", lift(other), self)
+
+    def __eq__(self, other):
+        return Comparison("==", self, lift(other))
+
+    def __ne__(self, other):
+        return Comparison("!=", self, lift(other))
+
+    def __lt__(self, other):
+        return Comparison("<", self, lift(other))
+
+    def __le__(self, other):
+        return Comparison("<=", self, lift(other))
+
+    def __gt__(self, other):
+        return Comparison(">", self, lift(other))
+
+    def __ge__(self, other):
+        return Comparison(">=", self, lift(other))
+
+    def __and__(self, other):
+        return And(self, lift(other))
+
+    def __or__(self, other):
+        return Or(self, lift(other))
+
+    def __invert__(self):
+        return Not(self)
+
+    def isin(self, values):
+        """Membership predicate, ``expr IN (v1, v2, ...)``."""
+        return InList(self, tuple(values))
+
+    def between(self, low, high):
+        """Inclusive range predicate, ``low <= expr <= high``."""
+        return (self >= low) & (self <= high)
+
+    # Expressions are used as dict keys inside plans; identity hashing keeps
+    # that working even though __eq__ is overloaded to build comparisons.
+    __hash__ = object.__hash__
+
+
+def lift(value):
+    """Wrap a plain Python value into a :class:`Const` if necessary."""
+    if isinstance(value, Expression):
+        return value
+    return Const(value)
+
+
+class Col(Expression):
+    """A reference to a column by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not isinstance(name, str) or not name:
+            raise ExpressionError("column reference needs a non-empty name, got %r" % (name,))
+        self.name = name
+
+    def _collect_columns(self, acc):
+        acc.add(self.name)
+
+    def compile(self, schema):
+        index = schema.index_of(self.name)
+        return lambda row: row[index]
+
+    def signature(self):
+        return "col(%s)" % self.name
+
+    def __repr__(self):
+        return "col(%r)" % self.name
+
+
+def col(name):
+    """Builder shorthand for :class:`Col`."""
+    return Col(name)
+
+
+class Const(Expression):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def _collect_columns(self, acc):
+        pass
+
+    def compile(self, schema):
+        value = self.value
+        return lambda row: value
+
+    def signature(self):
+        return "const(%r)" % (self.value,)
+
+    def __repr__(self):
+        return "const(%r)" % (self.value,)
+
+
+_ARITH = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "//": operator.floordiv,
+}
+
+_COMPARE = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class BinaryOp(Expression):
+    """Arithmetic on two sub-expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        if op not in _ARITH:
+            raise ExpressionError("unknown arithmetic operator %r" % op)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _collect_columns(self, acc):
+        self.left._collect_columns(acc)
+        self.right._collect_columns(acc)
+
+    def compile(self, schema):
+        fn = _ARITH[self.op]
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: fn(left(row), right(row))
+
+    def signature(self):
+        return "(%s %s %s)" % (self.left.signature(), self.op, self.right.signature())
+
+    def __repr__(self):
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class Comparison(Expression):
+    """A boolean comparison of two sub-expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        if op not in _COMPARE:
+            raise ExpressionError("unknown comparison operator %r" % op)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _collect_columns(self, acc):
+        self.left._collect_columns(acc)
+        self.right._collect_columns(acc)
+
+    def compile(self, schema):
+        fn = _COMPARE[self.op]
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: fn(left(row), right(row))
+
+    def signature(self):
+        return "(%s %s %s)" % (self.left.signature(), self.op, self.right.signature())
+
+    def __repr__(self):
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class And(Expression):
+    """Boolean conjunction."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def _collect_columns(self, acc):
+        self.left._collect_columns(acc)
+        self.right._collect_columns(acc)
+
+    def compile(self, schema):
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: bool(left(row)) and bool(right(row))
+
+    def signature(self):
+        return "(%s and %s)" % (self.left.signature(), self.right.signature())
+
+    def __repr__(self):
+        return "(%r & %r)" % (self.left, self.right)
+
+
+class Or(Expression):
+    """Boolean disjunction."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def _collect_columns(self, acc):
+        self.left._collect_columns(acc)
+        self.right._collect_columns(acc)
+
+    def compile(self, schema):
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: bool(left(row)) or bool(right(row))
+
+    def signature(self):
+        return "(%s or %s)" % (self.left.signature(), self.right.signature())
+
+    def __repr__(self):
+        return "(%r | %r)" % (self.left, self.right)
+
+
+class Not(Expression):
+    """Boolean negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child):
+        self.child = child
+
+    def _collect_columns(self, acc):
+        self.child._collect_columns(acc)
+
+    def compile(self, schema):
+        child = self.child.compile(schema)
+        return lambda row: not child(row)
+
+    def signature(self):
+        return "(not %s)" % self.child.signature()
+
+    def __repr__(self):
+        return "~%r" % (self.child,)
+
+
+class InList(Expression):
+    """Membership in a constant list."""
+
+    __slots__ = ("child", "values")
+
+    def __init__(self, child, values):
+        self.child = child
+        self.values = tuple(values)
+
+    def _collect_columns(self, acc):
+        self.child._collect_columns(acc)
+
+    def compile(self, schema):
+        child = self.child.compile(schema)
+        values = frozenset(self.values)
+        return lambda row: child(row) in values
+
+    def signature(self):
+        return "(%s in %r)" % (self.child.signature(), tuple(sorted(map(repr, self.values))))
+
+    def __repr__(self):
+        return "%r.isin(%r)" % (self.child, self.values)
+
+
+class StartsWith(Expression):
+    """String prefix predicate (``col LIKE 'prefix%'``)."""
+
+    __slots__ = ("child", "prefix")
+
+    def __init__(self, child, prefix):
+        self.child = lift(child)
+        self.prefix = prefix
+
+    def _collect_columns(self, acc):
+        self.child._collect_columns(acc)
+
+    def compile(self, schema):
+        child = self.child.compile(schema)
+        prefix = self.prefix
+        return lambda row: child(row).startswith(prefix)
+
+    def signature(self):
+        return "startswith(%s, %r)" % (self.child.signature(), self.prefix)
+
+    def __repr__(self):
+        return "StartsWith(%r, %r)" % (self.child, self.prefix)
+
+
+class Contains(Expression):
+    """Substring predicate (``col LIKE '%needle%'``)."""
+
+    __slots__ = ("child", "needle")
+
+    def __init__(self, child, needle):
+        self.child = lift(child)
+        self.needle = needle
+
+    def _collect_columns(self, acc):
+        self.child._collect_columns(acc)
+
+    def compile(self, schema):
+        child = self.child.compile(schema)
+        needle = self.needle
+        return lambda row: needle in child(row)
+
+    def signature(self):
+        return "contains(%s, %r)" % (self.child.signature(), self.needle)
+
+    def __repr__(self):
+        return "Contains(%r, %r)" % (self.child, self.needle)
+
+
+def starts_with(expr, prefix):
+    """Builder shorthand for :class:`StartsWith`."""
+    return StartsWith(expr, prefix)
+
+
+def contains(expr, needle):
+    """Builder shorthand for :class:`Contains`."""
+    return Contains(expr, needle)
+
+
+TRUE = Const(True)
+
+#: Aggregate functions supported by the engine (paper section 2.3 supports
+#: aggregate operators; MIN/MAX have the rescan-on-delete behaviour the
+#: evaluation section exercises with Q15).
+AGG_FUNCS = ("sum", "count", "avg", "min", "max")
+
+
+class AggSpec:
+    """One aggregate of a group-by: ``func(expr) AS alias``."""
+
+    __slots__ = ("func", "expr", "alias")
+
+    def __init__(self, func, expr, alias):
+        if func not in AGG_FUNCS:
+            raise ExpressionError(
+                "unknown aggregate %r; supported: %s" % (func, ", ".join(AGG_FUNCS))
+            )
+        if func != "count" and expr is None:
+            raise ExpressionError("aggregate %r needs an input expression" % func)
+        self.func = func
+        self.expr = expr if expr is not None else Const(1)
+        self.alias = alias
+
+    def signature(self):
+        return "%s(%s)->%s" % (self.func, self.expr.signature(), self.alias)
+
+    def __repr__(self):
+        return "AggSpec(%r, %r, %r)" % (self.func, self.expr, self.alias)
+
+
+def agg_sum(expr, alias):
+    """``SUM(expr) AS alias``"""
+    return AggSpec("sum", lift(expr), alias)
+
+
+def agg_count(alias, expr=None):
+    """``COUNT(*) AS alias`` (or ``COUNT(expr)``)."""
+    return AggSpec("count", lift(expr) if expr is not None else None, alias)
+
+
+def agg_avg(expr, alias):
+    """``AVG(expr) AS alias``"""
+    return AggSpec("avg", lift(expr), alias)
+
+
+def agg_min(expr, alias):
+    """``MIN(expr) AS alias``"""
+    return AggSpec("min", lift(expr), alias)
+
+
+def agg_max(expr, alias):
+    """``MAX(expr) AS alias``"""
+    return AggSpec("max", lift(expr), alias)

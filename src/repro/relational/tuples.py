@@ -1,0 +1,145 @@
+"""Delta records and delta batches.
+
+The engine processes data as *deltas*: each record is a row tuple plus a
+sign (+1 insert, -1 delete; an update is a delete followed by an insert,
+per the paper's section 2.3) plus a query bitvector saying which queries
+the tuple is valid for.  A :class:`DeltaBatch` is an ordered list of
+records under one schema -- the unit that flows between operators and is
+materialized into inter-subplan buffers.
+"""
+
+from ..errors import ExecutionError
+
+INSERT = 1
+DELETE = -1
+
+
+class Delta:
+    """One change record: ``(row, sign, bits)``.
+
+    ``row`` is a tuple aligned with the owning batch's schema, ``sign`` is
+    ``+1``/``-1`` and ``bits`` is the query bitvector (int).
+    """
+
+    __slots__ = ("row", "sign", "bits")
+
+    def __init__(self, row, sign=INSERT, bits=~0):
+        if sign not in (INSERT, DELETE):
+            raise ExecutionError("delta sign must be +1 or -1, got %r" % (sign,))
+        self.row = row
+        self.sign = sign
+        self.bits = bits
+
+    def with_bits(self, bits):
+        """A copy of this delta restricted to ``bits``."""
+        return Delta(self.row, self.sign, bits)
+
+    def negated(self):
+        """The retraction (or re-insertion) of this delta."""
+        return Delta(self.row, -self.sign, self.bits)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Delta)
+            and self.row == other.row
+            and self.sign == other.sign
+            and self.bits == other.bits
+        )
+
+    def __hash__(self):
+        return hash((self.row, self.sign, self.bits))
+
+    def __repr__(self):
+        marker = "+" if self.sign == INSERT else "-"
+        return "Delta(%s%r, bits=%s)" % (marker, self.row, bin(self.bits))
+
+
+class DeltaBatch:
+    """An ordered collection of :class:`Delta` records under one schema."""
+
+    __slots__ = ("schema", "deltas")
+
+    def __init__(self, schema, deltas=None):
+        self.schema = schema
+        self.deltas = list(deltas) if deltas is not None else []
+
+    @classmethod
+    def inserts(cls, schema, rows, bits=~0):
+        """A batch of pure insertions of ``rows``."""
+        return cls(schema, [Delta(row, INSERT, bits) for row in rows])
+
+    def append(self, delta):
+        self.deltas.append(delta)
+
+    def extend(self, deltas):
+        self.deltas.extend(deltas)
+
+    def insert_count(self):
+        """Number of +1 records."""
+        return sum(1 for d in self.deltas if d.sign == INSERT)
+
+    def delete_count(self):
+        """Number of -1 records."""
+        return sum(1 for d in self.deltas if d.sign == DELETE)
+
+    def net_multiplicities(self):
+        """Collapse the batch to ``{(row, bits): net_count}``.
+
+        Useful in tests for comparing incremental output with a batch
+        recomputation: two delta streams are equivalent iff their net
+        multiplicities agree.
+        """
+        net = {}
+        for delta in self.deltas:
+            key = (delta.row, delta.bits)
+            net[key] = net.get(key, 0) + delta.sign
+            if net[key] == 0:
+                del net[key]
+        return net
+
+    def rows_for_query(self, query_id):
+        """Net multiset of rows valid for ``query_id`` as ``{row: count}``."""
+        net = {}
+        mask = 1 << query_id
+        for delta in self.deltas:
+            if delta.bits & mask:
+                net[delta.row] = net.get(delta.row, 0) + delta.sign
+                if net[delta.row] == 0:
+                    del net[delta.row]
+        return net
+
+    def __len__(self):
+        return len(self.deltas)
+
+    def __iter__(self):
+        return iter(self.deltas)
+
+    def __repr__(self):
+        return "DeltaBatch(%d deltas, schema=%r)" % (len(self.deltas), self.schema.names())
+
+
+def consolidate(deltas):
+    """Cancel matching insert/delete pairs, preserving first-seen order.
+
+    Returns a new list where each ``(row, bits)`` appears with its net
+    multiplicity expanded back into unit deltas.  The engine uses this when
+    materializing buffers so downstream subplans do not re-process churn
+    that cancelled within one batch.
+    """
+    net = {}
+    order = []
+    for delta in deltas:
+        key = (delta.row, delta.bits)
+        if key not in net:
+            net[key] = 0
+            order.append(key)
+        net[key] += delta.sign
+    out = []
+    for key in order:
+        count = net[key]
+        if count == 0:
+            continue
+        sign = INSERT if count > 0 else DELETE
+        row, bits = key
+        out.extend(Delta(row, sign, bits) for _ in range(abs(count)))
+    return out

@@ -1,0 +1,7 @@
+"""SQL subset frontend: lexer, recursive-descent parser, plan lowering."""
+
+from .lexer import tokenize, Token
+from .parser import parse_sql, Parser
+from .lower import lower_select, parse_query
+
+__all__ = ["tokenize", "Token", "parse_sql", "Parser", "lower_select", "parse_query"]

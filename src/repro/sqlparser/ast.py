@@ -1,0 +1,157 @@
+"""AST for the SQL subset.
+
+The grammar covers the shape of the paper's workload queries::
+
+    SELECT item [, item ...]
+    FROM source [JOIN source ON col = col ...]
+    [WHERE predicate]
+    [GROUP BY col [, col ...]]
+    [HAVING predicate]
+
+where a *source* is a table name or a parenthesized subquery with an
+alias, and *items* are expressions (optionally aliased) or aggregate
+calls ``SUM/COUNT/AVG/MIN/MAX``.
+"""
+
+
+class SelectStmt:
+    __slots__ = ("items", "source", "where", "group_by", "having")
+
+    def __init__(self, items, source, where=None, group_by=(), having=None):
+        self.items = items          # list of SelectItem
+        self.source = source        # TableSource | SubquerySource | JoinSource
+        self.where = where          # expression AST or None
+        self.group_by = tuple(group_by)
+        self.having = having
+
+    def __repr__(self):
+        return "SelectStmt(%d items)" % len(self.items)
+
+
+class SelectItem:
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr, alias=None):
+        self.expr = expr
+        self.alias = alias
+
+    def __repr__(self):
+        return "SelectItem(%r AS %r)" % (self.expr, self.alias)
+
+
+class TableSource:
+    __slots__ = ("name", "alias")
+
+    def __init__(self, name, alias=None):
+        self.name = name
+        self.alias = alias
+
+    def __repr__(self):
+        return "TableSource(%r)" % self.name
+
+
+class SubquerySource:
+    __slots__ = ("query", "alias")
+
+    def __init__(self, query, alias):
+        self.query = query
+        self.alias = alias
+
+    def __repr__(self):
+        return "SubquerySource(%r)" % self.alias
+
+
+class JoinSource:
+    __slots__ = ("left", "right", "left_key", "right_key")
+
+    def __init__(self, left, right, left_key, right_key):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def __repr__(self):
+        return "JoinSource(%s = %s)" % (self.left_key, self.right_key)
+
+
+# -- expression AST --------------------------------------------------------------
+
+class ColumnRef:
+    __slots__ = ("qualifier", "name")
+
+    def __init__(self, name, qualifier=None):
+        self.qualifier = qualifier
+        self.name = name
+
+    def __repr__(self):
+        if self.qualifier:
+            return "ColumnRef(%s.%s)" % (self.qualifier, self.name)
+        return "ColumnRef(%s)" % self.name
+
+
+class Literal:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "Literal(%r)" % (self.value,)
+
+
+class BinaryExpr:
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self):
+        return "BinaryExpr(%r)" % self.op
+
+
+class UnaryExpr:
+    __slots__ = ("op", "child")
+
+    def __init__(self, op, child):
+        self.op = op
+        self.child = child
+
+
+class InExpr:
+    __slots__ = ("child", "values", "negated")
+
+    def __init__(self, child, values, negated=False):
+        self.child = child
+        self.values = tuple(values)
+        self.negated = negated
+
+
+class BetweenExpr:
+    __slots__ = ("child", "low", "high")
+
+    def __init__(self, child, low, high):
+        self.child = child
+        self.low = low
+        self.high = high
+
+
+class LikeExpr:
+    __slots__ = ("child", "pattern", "negated")
+
+    def __init__(self, child, pattern, negated=False):
+        self.child = child
+        self.pattern = pattern
+        self.negated = negated
+
+
+class AggCall:
+    __slots__ = ("func", "argument")
+
+    def __init__(self, func, argument):
+        self.func = func            # "sum" | "count" | "avg" | "min" | "max"
+        self.argument = argument    # expression AST or None for COUNT(*)
+
+    def __repr__(self):
+        return "AggCall(%s)" % self.func

@@ -1,0 +1,85 @@
+"""Tokenizer for the SQL subset.
+
+Token kinds: keywords (case-insensitive), identifiers, numbers, strings,
+operators and punctuation.  Positions are tracked for error messages.
+"""
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS", "JOIN", "ON",
+    "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "SUM", "COUNT", "AVG",
+    "MIN", "MAX", "TRUE", "FALSE", "NULL",
+}
+
+#: multi-character operators first so maximal munch works
+OPERATORS = ("<=", ">=", "<>", "!=", "==", "=", "<", ">", "+", "-", "*", "/",
+             "(", ")", ",", ".")
+
+
+class Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind  # "keyword" | "ident" | "number" | "string" | "op" | "eof"
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(text):
+    """Tokenize ``text``; raises :class:`~repro.errors.ParseError`."""
+    tokens = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch == "-" and text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = text.find("'", index + 1)
+            if end < 0:
+                raise ParseError("unterminated string literal", index)
+            tokens.append(Token("string", text[index + 1:end], index))
+            index = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and index + 1 < length and text[index + 1].isdigit()):
+            start = index
+            seen_dot = False
+            while index < length and (text[index].isdigit() or (text[index] == "." and not seen_dot)):
+                if text[index] == ".":
+                    # don't swallow a dot that is qualification (e.g. t.col)
+                    if index + 1 >= length or not text[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                index += 1
+            literal = text[start:index]
+            value = float(literal) if "." in literal else int(literal)
+            tokens.append(Token("number", value, start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] in "_#"):
+                index += 1
+            word = text[start:index]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper(), start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, index):
+                tokens.append(Token("op", op, index))
+                index += len(op)
+                break
+        else:
+            raise ParseError("unexpected character %r" % ch, index)
+    tokens.append(Token("eof", None, length))
+    return tokens

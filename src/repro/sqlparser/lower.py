@@ -1,0 +1,176 @@
+"""Lowering: SQL AST -> logical plans.
+
+The lowering targets the engine's operator set directly: FROM/JOIN build
+the join tree, WHERE becomes a select, GROUP BY + aggregate select items
+become an aggregate (with a pre-projection when grouping keys or
+aggregate inputs are computed expressions), HAVING becomes a select above
+the aggregate, and the SELECT list becomes the final projection.
+"""
+
+from ..errors import ParseError
+from ..logical.builder import PlanBuilder
+from ..relational.expressions import (
+    AggSpec,
+    And,
+    BinaryOp,
+    Col,
+    Comparison,
+    Const,
+    Contains,
+    InList,
+    Not,
+    Or,
+    StartsWith,
+)
+from .ast import (
+    AggCall,
+    BetweenExpr,
+    BinaryExpr,
+    ColumnRef,
+    InExpr,
+    JoinSource,
+    LikeExpr,
+    Literal,
+    SubquerySource,
+    TableSource,
+    UnaryExpr,
+)
+
+
+def lower_select(catalog, statement):
+    """Lower a parsed SELECT into a logical plan (returns the root op)."""
+    builder = _lower_source(catalog, statement.source)
+    if statement.where is not None:
+        builder = builder.where(_lower_scalar(statement.where))
+
+    agg_items = [item for item in statement.items if isinstance(item.expr, AggCall)]
+    if agg_items or statement.group_by:
+        builder = _lower_aggregate(builder, statement)
+        if statement.having is not None:
+            builder = builder.where(_lower_scalar(statement.having))
+    else:
+        if statement.having is not None:
+            raise ParseError("HAVING without aggregation")
+        exprs = []
+        for position, item in enumerate(statement.items):
+            alias = item.alias or _default_alias(item.expr, position)
+            exprs.append((alias, _lower_scalar(item.expr)))
+        builder = builder.project(exprs)
+    return builder.build()
+
+
+def parse_query(catalog, text, query_id, name):
+    """Parse + lower + wrap into a :class:`~repro.logical.ops.Query`."""
+    from .parser import parse_sql
+
+    statement = parse_sql(text)
+    root = lower_select(catalog, statement)
+    return PlanBuilder.wrap(root).as_query(query_id, name)
+
+
+def _lower_source(catalog, source):
+    if isinstance(source, TableSource):
+        return PlanBuilder.scan(catalog, source.name)
+    if isinstance(source, SubquerySource):
+        return PlanBuilder.wrap(lower_select(catalog, source.query))
+    if isinstance(source, JoinSource):
+        left = _lower_source(catalog, source.left)
+        right = _lower_source(catalog, source.right)
+        return left.join(right, [source.left_key], [source.right_key])
+    raise ParseError("unknown source %r" % (source,))
+
+
+def _lower_aggregate(builder, statement):
+    group_by = list(statement.group_by)
+    schema = builder.schema
+    # computed aggregate inputs are fine (AggSpec takes expressions);
+    # grouping keys must be existing columns of the child
+    for key in group_by:
+        if not schema.has(key):
+            raise ParseError("GROUP BY column %r not in input" % key)
+    aggs = []
+    out_names = set(group_by)
+    for position, item in enumerate(statement.items):
+        expr = item.expr
+        if isinstance(expr, AggCall):
+            alias = item.alias or "%s_%d" % (expr.func, position)
+            if alias in out_names:
+                raise ParseError("duplicate output column %r" % alias)
+            out_names.add(alias)
+            argument = (
+                _lower_scalar(expr.argument) if expr.argument is not None else None
+            )
+            aggs.append(AggSpec(expr.func, argument, alias))
+        elif isinstance(expr, ColumnRef):
+            if expr.name not in group_by:
+                raise ParseError(
+                    "non-aggregate select item %r must appear in GROUP BY" % expr.name
+                )
+        else:
+            raise ParseError(
+                "select items under GROUP BY must be columns or aggregates"
+            )
+    if not aggs:
+        raise ParseError("GROUP BY without aggregate select items")
+    return builder.aggregate(group_by, aggs)
+
+
+def _default_alias(expr, position):
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    return "col_%d" % position
+
+
+def _lower_scalar(expr):
+    if isinstance(expr, Literal):
+        return Const(expr.value)
+    if isinstance(expr, ColumnRef):
+        return Col(expr.name)
+    if isinstance(expr, BinaryExpr):
+        left = _lower_scalar(expr.left)
+        right = _lower_scalar(expr.right)
+        if expr.op == "and":
+            return And(left, right)
+        if expr.op == "or":
+            return Or(left, right)
+        if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+            return Comparison(expr.op, left, right)
+        return BinaryOp(expr.op, left, right)
+    if isinstance(expr, UnaryExpr):
+        if expr.op == "not":
+            return Not(_lower_scalar(expr.child))
+        raise ParseError("unknown unary operator %r" % expr.op)
+    if isinstance(expr, InExpr):
+        lowered = InList(_lower_scalar(expr.child), expr.values)
+        return Not(lowered) if expr.negated else lowered
+    if isinstance(expr, BetweenExpr):
+        child = _lower_scalar(expr.child)
+        return And(
+            Comparison(">=", child, _lower_scalar(expr.low)),
+            Comparison("<=", child, _lower_scalar(expr.high)),
+        )
+    if isinstance(expr, LikeExpr):
+        lowered = _lower_like(expr)
+        return Not(lowered) if expr.negated else lowered
+    if isinstance(expr, AggCall):
+        raise ParseError("aggregate call outside SELECT list")
+    raise ParseError("cannot lower expression %r" % (expr,))
+
+
+def _lower_like(expr):
+    pattern = expr.pattern
+    child = _lower_scalar(expr.child)
+    if pattern.endswith("%") and "%" not in pattern[:-1] and "_" not in pattern:
+        return StartsWith(child, pattern[:-1])
+    if (
+        pattern.startswith("%")
+        and pattern.endswith("%")
+        and "%" not in pattern[1:-1]
+        and "_" not in pattern
+    ):
+        return Contains(child, pattern[1:-1])
+    if "%" not in pattern and "_" not in pattern:
+        return Comparison("==", child, Const(pattern))
+    raise ParseError(
+        "unsupported LIKE pattern %r (prefix%% and %%infix%% only)" % pattern
+    )

@@ -1,0 +1,257 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from ..errors import ParseError
+from .ast import (
+    AggCall,
+    BetweenExpr,
+    BinaryExpr,
+    ColumnRef,
+    InExpr,
+    JoinSource,
+    LikeExpr,
+    Literal,
+    SelectItem,
+    SelectStmt,
+    SubquerySource,
+    TableSource,
+    UnaryExpr,
+)
+from .lexer import tokenize
+
+_AGG_KEYWORDS = {"SUM": "sum", "COUNT": "count", "AVG": "avg", "MIN": "min", "MAX": "max"}
+
+_COMPARISONS = {"=": "==", "==": "==", "<>": "!=", "!=": "!=",
+                "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class Parser:
+    def __init__(self, text):
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def at_keyword(self, *words):
+        token = self.peek()
+        return token.kind == "keyword" and token.value in words
+
+    def accept_keyword(self, *words):
+        if self.at_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word):
+        token = self.advance()
+        if token.kind != "keyword" or token.value != word:
+            raise ParseError("expected %s, got %r" % (word, token.value), token.position)
+        return token
+
+    def at_op(self, *ops):
+        token = self.peek()
+        return token.kind == "op" and token.value in ops
+
+    def accept_op(self, *ops):
+        if self.at_op(*ops):
+            return self.advance()
+        return None
+
+    def expect_op(self, op):
+        token = self.advance()
+        if token.kind != "op" or token.value != op:
+            raise ParseError("expected %r, got %r" % (op, token.value), token.position)
+        return token
+
+    def expect_ident(self):
+        token = self.advance()
+        if token.kind != "ident":
+            raise ParseError("expected identifier, got %r" % (token.value,), token.position)
+        return token.value
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_select(self):
+        self.expect_keyword("SELECT")
+        items = [self.parse_select_item()]
+        while self.accept_op(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        source = self.parse_source()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        group_by = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_column_name())
+            while self.accept_op(","):
+                group_by.append(self.parse_column_name())
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expression()
+        return SelectStmt(items, source, where, group_by, having)
+
+    def parse_select_item(self):
+        expr = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "ident":
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def parse_column_name(self):
+        name = self.expect_ident()
+        if self.accept_op("."):
+            name = self.expect_ident()  # qualifier dropped; columns are unique
+        return name
+
+    # -- sources -----------------------------------------------------------------
+
+    def parse_source(self):
+        source = self.parse_source_primary()
+        while self.accept_keyword("JOIN"):
+            right = self.parse_source_primary()
+            self.expect_keyword("ON")
+            left_key = self.parse_column_name()
+            self.expect_op("=")
+            right_key = self.parse_column_name()
+            source = JoinSource(source, right, left_key, right_key)
+        return source
+
+    def parse_source_primary(self):
+        if self.accept_op("("):
+            query = self.parse_select()
+            self.expect_op(")")
+            self.accept_keyword("AS")
+            alias = self.expect_ident()
+            return SubquerySource(query, alias)
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "ident":
+            alias = self.advance().value
+        return TableSource(name, alias)
+
+    # -- expressions (precedence climbing) ------------------------------------------
+
+    def parse_expression(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = BinaryExpr("or", left, self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = BinaryExpr("and", left, self.parse_not())
+        return left
+
+    def parse_not(self):
+        if self.accept_keyword("NOT"):
+            return UnaryExpr("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self):
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "op" and token.value in _COMPARISONS:
+            self.advance()
+            return BinaryExpr(_COMPARISONS[token.value], left, self.parse_additive())
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            values = [self.parse_literal_value()]
+            while self.accept_op(","):
+                values.append(self.parse_literal_value())
+            self.expect_op(")")
+            return InExpr(left, values, negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            expr = BetweenExpr(left, low, high)
+            return UnaryExpr("not", expr) if negated else expr
+        if self.accept_keyword("LIKE"):
+            pattern = self.advance()
+            if pattern.kind != "string":
+                raise ParseError("LIKE needs a string pattern", pattern.position)
+            return LikeExpr(left, pattern.value, negated)
+        if negated:
+            raise ParseError("dangling NOT", token.position)
+        return left
+
+    def parse_additive(self):
+        left = self.parse_multiplicative()
+        while True:
+            token = self.accept_op("+", "-")
+            if not token:
+                return left
+            left = BinaryExpr(token.value, left, self.parse_multiplicative())
+
+    def parse_multiplicative(self):
+        left = self.parse_primary()
+        while True:
+            token = self.accept_op("*", "/")
+            if not token:
+                return left
+            left = BinaryExpr(token.value, left, self.parse_primary())
+
+    def parse_literal_value(self):
+        token = self.advance()
+        if token.kind in ("number", "string"):
+            return token.value
+        raise ParseError("expected a literal, got %r" % (token.value,), token.position)
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+        if token.kind == "op" and token.value == "-":
+            self.advance()
+            return BinaryExpr("-", Literal(0), self.parse_primary())
+        if token.kind == "number" or token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "keyword" and token.value in _AGG_KEYWORDS:
+            self.advance()
+            self.expect_op("(")
+            if self.accept_op("*"):
+                argument = None
+            else:
+                argument = self.parse_expression()
+            self.expect_op(")")
+            return AggCall(_AGG_KEYWORDS[token.value], argument)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.value == "TRUE")
+        if token.kind == "ident":
+            self.advance()
+            if self.accept_op("."):
+                return ColumnRef(self.expect_ident(), qualifier=token.value)
+            return ColumnRef(token.value)
+        raise ParseError("unexpected token %r" % (token.value,), token.position)
+
+
+def parse_sql(text):
+    """Parse one SELECT statement; raises :class:`~repro.errors.ParseError`."""
+    parser = Parser(text)
+    statement = parser.parse_select()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError("trailing input %r" % (trailing.value,), trailing.position)
+    return statement

@@ -1,0 +1,5 @@
+"""Workloads: TPC-H-class queries, data generation, constraint sets."""
+
+from .constraints import CONSTRAINT_LEVELS, random_constraints, uniform_constraints
+
+__all__ = ["CONSTRAINT_LEVELS", "random_constraints", "uniform_constraints"]

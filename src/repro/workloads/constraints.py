@@ -1,0 +1,27 @@
+"""Relative final-work constraint generators (paper section 5.3).
+
+The evaluation draws relative constraints from ``{1.0, 0.5, 0.2, 0.1}``
+either uniformly (one value for all queries) or randomly per query.
+"""
+
+import random
+
+#: the constraint levels the paper tests
+CONSTRAINT_LEVELS = (1.0, 0.5, 0.2, 0.1)
+
+
+def uniform_constraints(query_ids, level):
+    """The same relative constraint for every query.
+
+    The paper's figures use levels from :data:`CONSTRAINT_LEVELS`; other
+    values in ``(0, 1]`` are accepted (Figure 15 uses 0.01).
+    """
+    if not 0.0 < level <= 1.0:
+        raise ValueError("relative constraint must be in (0, 1], got %r" % (level,))
+    return {qid: level for qid in query_ids}
+
+
+def random_constraints(query_ids, seed=0, levels=CONSTRAINT_LEVELS):
+    """A random constraint per query, reproducibly from ``seed``."""
+    rng = random.Random(seed)
+    return {qid: rng.choice(levels) for qid in query_ids}

@@ -1,0 +1,34 @@
+"""TPC-H micro benchmark: schema, data generator, 22 queries, variants."""
+
+from .schema import TABLE_SCHEMAS, date_of, DATE_MIN, DATE_MAX
+from .datagen import generate_catalog, rows_for, BASE_ROWS, add_lineitem_updates
+from .queries import (
+    ALL_QUERY_NAMES,
+    QUERY_BUILDERS,
+    SHARING_FRIENDLY,
+    build_query,
+    build_workload,
+)
+from .paper_queries import build_qa, build_qb, build_pair
+from .variants import mutate_query, build_variant_workload
+
+__all__ = [
+    "TABLE_SCHEMAS",
+    "date_of",
+    "DATE_MIN",
+    "DATE_MAX",
+    "generate_catalog",
+    "add_lineitem_updates",
+    "rows_for",
+    "BASE_ROWS",
+    "ALL_QUERY_NAMES",
+    "QUERY_BUILDERS",
+    "SHARING_FRIENDLY",
+    "build_query",
+    "build_workload",
+    "build_qa",
+    "build_qb",
+    "build_pair",
+    "mutate_query",
+    "build_variant_workload",
+]

@@ -1,0 +1,170 @@
+"""Deterministic TPC-H-like data generator.
+
+Stands in for dbgen: row counts follow the TPC-H table ratios (the paper
+uses SF 5; we use a *micro scale factor* where ``scale=1.0`` produces
+about 6,000 lineitem rows, small enough for the pure-Python engine while
+keeping the relative table sizes, foreign-key fan-outs, value domains and
+predicate selectivities that the workload's sharing/eagerness trade-offs
+depend on).  Generation is seeded and fully deterministic.
+"""
+
+import random
+
+from ...relational.table import Catalog
+from . import schema as tpch
+
+
+#: per-unit-scale row counts (TPC-H ratios at micro size)
+BASE_ROWS = {
+    "supplier": 50,
+    "customer": 300,
+    "part": 400,
+    "partsupp": 1600,
+    "orders": 1500,
+    "lineitem": 6000,
+}
+
+
+def rows_for(table, scale):
+    """Row count of ``table`` at ``scale`` (regions/nations are fixed)."""
+    if table == "region":
+        return len(tpch.REGIONS)
+    if table == "nation":
+        return len(tpch.NATIONS)
+    return max(1, int(BASE_ROWS[table] * scale))
+
+
+def generate_catalog(scale=1.0, seed=5):
+    """Build a fully-populated catalog at the given micro scale factor."""
+    rng = random.Random(seed)
+    catalog = Catalog()
+
+    region = catalog.create("region", tpch.REGION_SCHEMA)
+    for key, name in enumerate(tpch.REGIONS):
+        region.append((key, name))
+
+    nation = catalog.create("nation", tpch.NATION_SCHEMA)
+    for key, name in enumerate(tpch.NATIONS):
+        nation.append((key, name, key % len(tpch.REGIONS)))
+
+    n_supplier = rows_for("supplier", scale)
+    supplier = catalog.create("supplier", tpch.SUPPLIER_SCHEMA)
+    for key in range(n_supplier):
+        supplier.append((
+            key,
+            rng.randrange(len(tpch.NATIONS)),
+            round(rng.uniform(-999.99, 9999.99), 2),
+        ))
+
+    n_customer = rows_for("customer", scale)
+    customer = catalog.create("customer", tpch.CUSTOMER_SCHEMA)
+    for key in range(n_customer):
+        customer.append((
+            key,
+            rng.randrange(len(tpch.NATIONS)),
+            rng.choice(tpch.SEGMENTS),
+            round(rng.uniform(-999.99, 9999.99), 2),
+        ))
+
+    n_part = rows_for("part", scale)
+    part = catalog.create("part", tpch.PART_SCHEMA)
+    for key in range(n_part):
+        part.append((
+            key,
+            rng.choice(tpch.BRANDS),
+            rng.choice(tpch.TYPES),
+            rng.randint(1, 50),
+            rng.choice(tpch.CONTAINERS),
+            round(rng.uniform(900.0, 2000.0), 2),
+        ))
+
+    partsupp = catalog.create("partsupp", tpch.PARTSUPP_SCHEMA)
+    suppliers_per_part = max(1, rows_for("partsupp", scale) // max(n_part, 1))
+    suppliers_of_part = {}
+    for part_key in range(n_part):
+        chosen = rng.sample(
+            range(n_supplier), min(suppliers_per_part, n_supplier)
+        )
+        suppliers_of_part[part_key] = chosen
+        for supp_key in chosen:
+            partsupp.append((
+                part_key,
+                supp_key,
+                rng.randint(1, 9999),
+                round(rng.uniform(1.0, 1000.0), 2),
+            ))
+
+    n_orders = rows_for("orders", scale)
+    orders = catalog.create("orders", tpch.ORDERS_SCHEMA)
+    order_dates = {}
+    for key in range(n_orders):
+        order_date = rng.randint(tpch.DATE_MIN, tpch.DATE_MAX - 151)
+        order_dates[key] = order_date
+        orders.append((
+            key,
+            rng.randrange(n_customer),
+            rng.choice(tpch.ORDER_STATUSES),
+            round(rng.uniform(1000.0, 450000.0), 2),
+            order_date,
+            rng.choice(tpch.ORDER_PRIORITIES),
+        ))
+
+    n_lineitem = rows_for("lineitem", scale)
+    lineitem = catalog.create("lineitem", tpch.LINEITEM_SCHEMA)
+    for _ in range(n_lineitem):
+        order_key = rng.randrange(n_orders)
+        ship_date = order_dates[order_key] + rng.randint(1, 121)
+        commit_date = order_dates[order_key] + rng.randint(30, 90)
+        receipt_date = ship_date + rng.randint(1, 30)
+        quantity = float(rng.randint(1, 50))
+        price_per_unit = rng.uniform(900.0, 2000.0) / 10.0
+        part_key = rng.randrange(n_part)
+        # like dbgen, a lineitem's supplier is one of the part's suppliers
+        lineitem.append((
+            order_key,
+            part_key,
+            rng.choice(suppliers_of_part[part_key]),
+            quantity,
+            round(quantity * price_per_unit, 2),
+            round(rng.choice((0.0, 0.01, 0.02, 0.03, 0.04, 0.05,
+                              0.06, 0.07, 0.08, 0.09, 0.10)), 2),
+            round(rng.choice((0.0, 0.02, 0.04, 0.06, 0.08)), 2),
+            rng.choice(tpch.RETURN_FLAGS),
+            rng.choice(tpch.LINE_STATUSES),
+            ship_date,
+            commit_date,
+            receipt_date,
+            rng.choice(tpch.SHIP_MODES),
+        ))
+
+    # Shuffle the big fact tables so arrival order is not correlated with
+    # key order (the stream source delivers rows in table order).
+    rng.shuffle(orders.rows)
+    rng.shuffle(lineitem.rows)
+    return catalog
+
+
+def add_lineitem_updates(catalog, fraction=0.05, seed=11):
+    """Add update churn to the lineitem stream (paper section 2.3).
+
+    A ``fraction`` of lineitem rows receive a quantity/price correction
+    after arrival; each update reaches the stream as a deletion of the old
+    row followed by an insertion of the corrected one, at a random point
+    after the original arrival.  Returns the catalog for chaining.
+    """
+    rng = random.Random(seed)
+    lineitem = catalog.get("lineitem")
+    schema = lineitem.schema
+    qty_index = schema.index_of("l_quantity")
+    price_index = schema.index_of("l_extendedprice")
+    count = max(1, int(len(lineitem.rows) * fraction))
+    updates = []
+    for row in rng.sample(lineitem.rows, count):
+        new_row = list(row)
+        new_row[qty_index] = float(rng.randint(1, 50))
+        new_row[price_index] = round(
+            new_row[qty_index] * rng.uniform(90.0, 200.0), 2
+        )
+        updates.append((row, tuple(new_row)))
+    lineitem.apply_updates(updates, rng)
+    return catalog

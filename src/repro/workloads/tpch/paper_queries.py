@@ -1,0 +1,66 @@
+"""The paper's running-example queries Q_A and Q_B (Figure 2, section 5.2).
+
+Both aggregate per-part lineitem quantities; Q_A sums them over all
+parts, Q_B averages them over one selective brand/size slice and then
+finds partsupp rows with less availability than that average.  The MQO
+optimizer shares the ``part |X| (lineitem group-by)`` block with Q_B's
+selection turned into a marking select -- exactly Figure 2's
+``Q_AB``.
+"""
+
+from ...logical.builder import PlanBuilder
+from ...relational.expressions import Const, agg_avg, agg_sum, col
+
+
+def _part_quantities(catalog, part_filter=None):
+    """part |X| (SELECT l_partkey, SUM(l_quantity) FROM lineitem GROUP BY ...)."""
+    agg_l = PlanBuilder.scan(catalog, "lineitem").aggregate(
+        ["l_partkey"], [agg_sum(col("l_quantity"), "sum_quantity")]
+    )
+    part = PlanBuilder.scan(catalog, "part")
+    if part_filter is not None:
+        part = part.where(part_filter)
+    return part.join(agg_l, "p_partkey", "l_partkey")
+
+
+def build_qa(catalog, query_id=0):
+    """Q_A: total quantity over all parts."""
+    return (
+        _part_quantities(catalog)
+        .aggregate([], [agg_sum(col("sum_quantity"), "total_sum_quantity")])
+        .as_query(query_id, "QA")
+    )
+
+
+def build_qb(catalog, query_id=1, brand="Brand#23", size=15):
+    """Q_B: partsupp rows with availability below the brand's average.
+
+    The scalar (uncorrelated) subquery average is joined to partsupp on a
+    constant key; the inequality becomes a select above the join.
+    """
+    avg_quantity = (
+        _part_quantities(
+            catalog, (col("p_brand") == brand) & (col("p_size") == size)
+        )
+        .aggregate([], [agg_avg(col("sum_quantity"), "avg_quantity")])
+        .project([("avg_one", Const(1)), ("avg_quantity", col("avg_quantity"))])
+    )
+    return (
+        PlanBuilder.scan(catalog, "partsupp")
+        .project(
+            [
+                ("ps_one", Const(1)),
+                ("ps_partkey", col("ps_partkey")),
+                ("ps_availqty", col("ps_availqty")),
+            ]
+        )
+        .join(avg_quantity, "ps_one", "avg_one")
+        .where(col("ps_availqty") < col("avg_quantity"))
+        .project(["ps_partkey"])
+        .as_query(query_id, "QB")
+    )
+
+
+def build_pair(catalog):
+    """The (Q_A, Q_B) batch with ids 0 and 1."""
+    return [build_qa(catalog, 0), build_qb(catalog, 1)]

@@ -1,0 +1,534 @@
+"""The 22 TPC-H-class queries over the engine's shared operator set.
+
+Each query is expressed with scan / select / project / inner equi-join /
+group-by aggregate -- the operators the paper's shared execution engine
+supports (section 2.3).  ORDER BY / LIMIT / outer joins / EXISTS are
+rewritten or dropped (documented in DESIGN.md); they do not affect the
+work accounting of the shared pipeline.
+
+Join chains are built from canonical building blocks (consistent join
+order and keys) so structurally identical sub-expressions across queries
+get identical signatures -- the role a join-order-normalizing MQO
+optimizer plays for the paper's prototype.  The paper's sharing-friendly
+subset (section 5.3) is exported as :data:`SHARING_FRIENDLY`.
+"""
+
+from ...logical.builder import PlanBuilder
+from ...relational.expressions import (
+    Const,
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+    col,
+    contains,
+    starts_with,
+)
+from .schema import date_of
+
+#: extended price net of discount -- the TPC-H "revenue" expression
+REVENUE = col("l_extendedprice") * (1 - col("l_discount"))
+
+#: order year for per-year group-bys (float-floored whole years)
+O_YEAR = col("o_orderdate") // 365.25 + 1992
+
+
+# -- canonical join building blocks ------------------------------------------
+# Consistent construction order means identical sub-expressions across
+# queries share structure signatures.
+
+def _orders_lineitem(catalog):
+    """orders |X| lineitem on the order key."""
+    return PlanBuilder.scan(catalog, "orders").join(
+        PlanBuilder.scan(catalog, "lineitem"), "o_orderkey", "l_orderkey"
+    )
+
+
+def _customer_orders_lineitem(catalog):
+    """customer |X| (orders |X| lineitem)."""
+    return PlanBuilder.scan(catalog, "customer").join(
+        _orders_lineitem(catalog), "c_custkey", "o_custkey"
+    )
+
+
+def _col_supplier(catalog):
+    """(customer |X| orders |X| lineitem) |X| supplier."""
+    return _customer_orders_lineitem(catalog).join(
+        PlanBuilder.scan(catalog, "supplier"), "l_suppkey", "s_suppkey"
+    )
+
+
+def _cols_nation(catalog):
+    """... |X| nation on the supplier's nation."""
+    return _col_supplier(catalog).join(
+        PlanBuilder.scan(catalog, "nation"), "s_nationkey", "n_nationkey"
+    )
+
+
+def _cols_nation_region(catalog):
+    """... |X| region."""
+    return _cols_nation(catalog).join(
+        PlanBuilder.scan(catalog, "region"), "n_regionkey", "r_regionkey"
+    )
+
+
+def _orders_lineitem_supplier(catalog):
+    """(orders |X| lineitem) |X| supplier (no customer)."""
+    return _orders_lineitem(catalog).join(
+        PlanBuilder.scan(catalog, "supplier"), "l_suppkey", "s_suppkey"
+    )
+
+
+def _lineitem_part(catalog):
+    """lineitem |X| part."""
+    return PlanBuilder.scan(catalog, "lineitem").join(
+        PlanBuilder.scan(catalog, "part"), "l_partkey", "p_partkey"
+    )
+
+
+def _partsupp_supplier_nation(catalog):
+    """partsupp |X| supplier |X| nation."""
+    return (
+        PlanBuilder.scan(catalog, "partsupp")
+        .join(PlanBuilder.scan(catalog, "supplier"), "ps_suppkey", "s_suppkey")
+        .join(PlanBuilder.scan(catalog, "nation"), "s_nationkey", "n_nationkey")
+    )
+
+
+def _supplier_revenue(catalog, date_lo, months=3):
+    """The Q15 revenue view: per-supplier revenue over a 3-month window."""
+    date_hi = date_lo + int(months * 30.44)
+    return (
+        PlanBuilder.scan(catalog, "lineitem")
+        .where((col("l_shipdate") >= date_lo) & (col("l_shipdate") < date_hi))
+        .aggregate(["l_suppkey"], [agg_sum(REVENUE, "total_revenue")])
+    )
+
+
+# -- the queries ---------------------------------------------------------------
+
+def q1(catalog):
+    """Pricing summary report."""
+    return (
+        PlanBuilder.scan(catalog, "lineitem")
+        .where(col("l_shipdate") <= date_of(1998, 9, 2))
+        .aggregate(
+            ["l_returnflag", "l_linestatus"],
+            [
+                agg_sum(col("l_quantity"), "sum_qty"),
+                agg_sum(col("l_extendedprice"), "sum_base_price"),
+                agg_sum(REVENUE, "sum_disc_price"),
+                agg_avg(col("l_quantity"), "avg_qty"),
+                agg_count("count_order"),
+            ],
+        )
+    )
+
+
+def q2(catalog):
+    """Minimum cost supplier (min aggregate over the partsupp chain)."""
+    return (
+        _partsupp_supplier_nation(catalog)
+        .join(PlanBuilder.scan(catalog, "region"), "n_regionkey", "r_regionkey")
+        .where(col("r_name") == "EUROPE")
+        .join(PlanBuilder.scan(catalog, "part"), "ps_partkey", "p_partkey")
+        .where((col("p_size") <= 15) & contains(col("p_type"), "BRASS"))
+        .aggregate(["p_partkey"], [agg_min(col("ps_supplycost"), "min_cost")])
+    )
+
+
+def q3(catalog):
+    """Shipping priority: unshipped orders of one market segment."""
+    return (
+        _customer_orders_lineitem(catalog)
+        .where(
+            (col("c_mktsegment") == "BUILDING")
+            & (col("o_orderdate") < date_of(1995, 3, 15))
+            & (col("l_shipdate") > date_of(1995, 3, 15))
+        )
+        .aggregate(
+            ["l_orderkey", "o_orderdate"], [agg_sum(REVENUE, "revenue")]
+        )
+    )
+
+
+def q4(catalog):
+    """Order priority checking (EXISTS rewritten as a join + count)."""
+    return (
+        _orders_lineitem(catalog)
+        .where(
+            (col("o_orderdate") >= date_of(1993, 7, 1))
+            & (col("o_orderdate") < date_of(1993, 10, 1))
+            & (col("l_commitdate") < col("l_receiptdate"))
+        )
+        .aggregate(["o_orderpriority"], [agg_count("order_count")])
+    )
+
+
+def q5(catalog):
+    """Local supplier volume within one region and year."""
+    return (
+        _cols_nation_region(catalog)
+        .where(
+            (col("r_name") == "ASIA")
+            & (col("o_orderdate") >= date_of(1994, 1, 1))
+            & (col("o_orderdate") < date_of(1995, 1, 1))
+        )
+        .aggregate(["n_name"], [agg_sum(REVENUE, "revenue")])
+    )
+
+
+def q6(catalog):
+    """Forecasting revenue change (single-table selective aggregate)."""
+    return (
+        PlanBuilder.scan(catalog, "lineitem")
+        .where(
+            (col("l_shipdate") >= date_of(1994, 1, 1))
+            & (col("l_shipdate") < date_of(1995, 1, 1))
+            & (col("l_discount") >= 0.05)
+            & (col("l_discount") <= 0.07)
+            & (col("l_quantity") < 24)
+        )
+        .aggregate([], [agg_sum(col("l_extendedprice") * col("l_discount"), "revenue")])
+    )
+
+
+def q7(catalog):
+    """Volume shipping between two nations, by year."""
+    return (
+        _cols_nation(catalog)
+        .where(
+            col("n_name").isin(["FRANCE", "GERMANY"])
+            & (col("l_shipdate") >= date_of(1995, 1, 1))
+            & (col("l_shipdate") <= date_of(1996, 12, 31))
+        )
+        .project(
+            [
+                ("supp_nation", col("n_name")),
+                ("l_year", col("l_shipdate") // 365.25 + 1992),
+                ("volume", REVENUE),
+            ]
+        )
+        .aggregate(["supp_nation", "l_year"], [agg_sum(col("volume"), "revenue")])
+    )
+
+
+def q8(catalog):
+    """National market share within a region, by year."""
+    return (
+        _cols_nation_region(catalog)
+        .join(PlanBuilder.scan(catalog, "part"), "l_partkey", "p_partkey")
+        .where(
+            (col("r_name") == "AMERICA")
+            & (col("o_orderdate") >= date_of(1995, 1, 1))
+            & (col("o_orderdate") <= date_of(1996, 12, 31))
+            & contains(col("p_type"), "ECONOMY")
+        )
+        .project(
+            [
+                ("o_year", O_YEAR),
+                ("volume", REVENUE),
+                ("brazil_volume", (col("n_name") == "BRAZIL") * REVENUE),
+            ]
+        )
+        .aggregate(
+            ["o_year"],
+            [
+                agg_sum(col("brazil_volume"), "nation_volume"),
+                agg_sum(col("volume"), "total_volume"),
+            ],
+        )
+    )
+
+
+def q9(catalog):
+    """Product type profit measure, by nation and year."""
+    return (
+        _orders_lineitem_supplier(catalog)
+        .join(PlanBuilder.scan(catalog, "part"), "l_partkey", "p_partkey")
+        .join(PlanBuilder.scan(catalog, "nation"), "s_nationkey", "n_nationkey")
+        .where(contains(col("p_type"), "STANDARD"))
+        .project(
+            [
+                ("nation", col("n_name")),
+                ("o_year", O_YEAR),
+                ("amount", REVENUE - 0.4 * col("l_quantity") * col("p_retailprice") / 10),
+            ]
+        )
+        .aggregate(["nation", "o_year"], [agg_sum(col("amount"), "sum_profit")])
+    )
+
+
+def q10(catalog):
+    """Returned item reporting: lost revenue per customer."""
+    return (
+        _customer_orders_lineitem(catalog)
+        .where(
+            (col("l_returnflag") == "R")
+            & (col("o_orderdate") >= date_of(1993, 10, 1))
+            & (col("o_orderdate") < date_of(1994, 1, 1))
+        )
+        .aggregate(["c_custkey", "c_nationkey"], [agg_sum(REVENUE, "revenue")])
+    )
+
+
+def q11(catalog):
+    """Important stock identification in one nation."""
+    return (
+        _partsupp_supplier_nation(catalog)
+        .where(col("n_name") == "GERMANY")
+        .aggregate(
+            ["ps_partkey"],
+            [agg_sum(col("ps_supplycost") * col("ps_availqty"), "value")],
+        )
+    )
+
+
+def q12(catalog):
+    """Shipping mode and order priority."""
+    return (
+        _orders_lineitem(catalog)
+        .where(
+            col("l_shipmode").isin(["MAIL", "SHIP"])
+            & (col("l_commitdate") < col("l_receiptdate"))
+            & (col("l_shipdate") < col("l_commitdate"))
+            & (col("l_receiptdate") >= date_of(1994, 1, 1))
+            & (col("l_receiptdate") < date_of(1995, 1, 1))
+        )
+        .project(
+            [
+                ("l_shipmode", col("l_shipmode")),
+                (
+                    "high_line",
+                    col("o_orderpriority").isin(["1-URGENT", "2-HIGH"]) * 1,
+                ),
+                (
+                    "low_line",
+                    (~col("o_orderpriority").isin(["1-URGENT", "2-HIGH"])) * 1,
+                ),
+            ]
+        )
+        .aggregate(
+            ["l_shipmode"],
+            [
+                agg_sum(col("high_line"), "high_line_count"),
+                agg_sum(col("low_line"), "low_line_count"),
+            ],
+        )
+    )
+
+
+def q13(catalog):
+    """Customer order-count distribution (two-level aggregate)."""
+    return (
+        PlanBuilder.scan(catalog, "customer")
+        .join(PlanBuilder.scan(catalog, "orders"), "c_custkey", "o_custkey")
+        .where(~contains(col("o_orderpriority"), "SPECIAL"))
+        .aggregate(["c_custkey"], [agg_count("c_count")])
+        .aggregate(["c_count"], [agg_count("custdist")])
+    )
+
+
+def q14(catalog):
+    """Promotion effect: promo revenue share in one month."""
+    return (
+        _lineitem_part(catalog)
+        .where(
+            (col("l_shipdate") >= date_of(1995, 9, 1))
+            & (col("l_shipdate") < date_of(1995, 10, 1))
+        )
+        .project(
+            [
+                ("promo_rev", starts_with(col("p_type"), "PROMO") * REVENUE),
+                ("total_rev", REVENUE),
+            ]
+        )
+        .aggregate(
+            [],
+            [
+                agg_sum(col("promo_rev"), "promo_revenue"),
+                agg_sum(col("total_rev"), "total_revenue"),
+            ],
+        )
+    )
+
+
+def q15(catalog):
+    """Top supplier: revenue view + MAX over it (non-incrementable).
+
+    The revenue view feeds both the global MAX aggregate and the
+    supplier join that selects the top supplier(s) by value equality --
+    the classic Q15 shape whose eager maintenance forces MAX rescans
+    (paper section 5.3).
+    """
+    revenue = _supplier_revenue(catalog, date_of(1996, 1, 1)).build()
+    max_revenue = (
+        PlanBuilder.wrap(revenue)
+        .aggregate([], [agg_max(col("total_revenue"), "max_revenue")])
+        .project([("mr_one", Const(1)), ("max_revenue", col("max_revenue"))])
+    )
+    return (
+        PlanBuilder.wrap(revenue)
+        .project(
+            [
+                ("rv_one", Const(1)),
+                ("l_suppkey", col("l_suppkey")),
+                ("total_revenue", col("total_revenue")),
+            ]
+        )
+        .join(max_revenue, "rv_one", "mr_one")
+        .where(col("total_revenue") >= col("max_revenue"))
+        .join(PlanBuilder.scan(catalog, "supplier"), "l_suppkey", "s_suppkey")
+        .project(["s_suppkey", "total_revenue"])
+    )
+
+
+def q16(catalog):
+    """Parts/supplier relationship counts."""
+    return (
+        PlanBuilder.scan(catalog, "part")
+        .join(PlanBuilder.scan(catalog, "partsupp"), "p_partkey", "ps_partkey")
+        .where(
+            (col("p_brand") != "Brand#45")
+            & ~starts_with(col("p_type"), "MEDIUM POLISHED")
+            & col("p_size").isin([49, 14, 23, 45, 19, 3, 36, 9])
+        )
+        .aggregate(["p_brand", "p_type", "p_size"], [agg_count("supplier_cnt")])
+    )
+
+
+def q17(catalog):
+    """Small-quantity-order revenue (correlated subquery as self-join)."""
+    avg_qty = (
+        PlanBuilder.scan(catalog, "lineitem")
+        .aggregate(["l_partkey"], [agg_avg(col("l_quantity"), "aq")])
+        .project([("aq_partkey", col("l_partkey")), ("avg_qty", col("aq"))])
+    )
+    return (
+        _lineitem_part(catalog)
+        .where((col("p_brand") == "Brand#23") & starts_with(col("p_container"), "MED"))
+        .join(avg_qty, "l_partkey", "aq_partkey")
+        .where(col("l_quantity") < 0.6 * col("avg_qty"))
+        .aggregate([], [agg_sum(col("l_extendedprice"), "avg_yearly")])
+    )
+
+
+def q18(catalog):
+    """Large volume customers (HAVING via select above aggregate)."""
+    big_orders = (
+        PlanBuilder.scan(catalog, "lineitem")
+        .aggregate(["l_orderkey"], [agg_sum(col("l_quantity"), "sum_qty")])
+        .where(col("sum_qty") > 150)
+    )
+    return (
+        PlanBuilder.scan(catalog, "customer")
+        .join(PlanBuilder.scan(catalog, "orders"), "c_custkey", "o_custkey")
+        .join(big_orders, "o_orderkey", "l_orderkey")
+        .aggregate(
+            ["c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+            [agg_sum(col("sum_qty"), "total_qty")],
+        )
+    )
+
+
+def q19(catalog):
+    """Discounted revenue under disjunctive brand/container predicates."""
+    clause1 = (
+        (col("p_brand") == "Brand#12")
+        & col("p_container").isin(["SM CASE", "SM BOX", "SM PACK", "SM PKG"])
+        & (col("l_quantity") >= 1) & (col("l_quantity") <= 11)
+    )
+    clause2 = (
+        (col("p_brand") == "Brand#23")
+        & col("p_container").isin(["MED BAG", "MED BOX", "MED PKG", "MED PACK"])
+        & (col("l_quantity") >= 10) & (col("l_quantity") <= 20)
+    )
+    clause3 = (
+        (col("p_brand") == "Brand#34")
+        & col("p_container").isin(["LG CASE", "LG BOX", "LG PACK", "LG PKG"])
+        & (col("l_quantity") >= 20) & (col("l_quantity") <= 30)
+    )
+    return (
+        _lineitem_part(catalog)
+        .where(clause1 | clause2 | clause3)
+        .aggregate([], [agg_sum(REVENUE, "revenue")])
+    )
+
+
+def q20(catalog):
+    """Potential part promotion (nested aggregate + availability check)."""
+    half_qty = (
+        PlanBuilder.scan(catalog, "lineitem")
+        .where(
+            (col("l_shipdate") >= date_of(1994, 1, 1))
+            & (col("l_shipdate") < date_of(1995, 1, 1))
+        )
+        .aggregate(
+            ["l_partkey", "l_suppkey"],
+            [agg_sum(col("l_quantity") * 0.5, "half_qty")],
+        )
+    )
+    return (
+        _partsupp_supplier_nation(catalog)
+        .where(col("n_name").isin(["CANADA", "BRAZIL", "INDIA", "FRANCE", "CHINA"]))
+        .join(PlanBuilder.scan(catalog, "part"), "ps_partkey", "p_partkey")
+        .where(starts_with(col("p_type"), "STANDARD"))
+        .join(half_qty, ["ps_partkey", "ps_suppkey"], ["l_partkey", "l_suppkey"])
+        .where(col("ps_availqty") > col("half_qty"))
+        .aggregate(["s_suppkey"], [agg_count("part_count")])
+    )
+
+
+def q21(catalog):
+    """Suppliers who kept orders waiting."""
+    return (
+        _orders_lineitem_supplier(catalog)
+        .join(PlanBuilder.scan(catalog, "nation"), "s_nationkey", "n_nationkey")
+        .where(
+            (col("o_orderstatus") == "F")
+            & (col("l_receiptdate") > col("l_commitdate"))
+            & col("n_name").isin(["SAUDI ARABIA", "EGYPT", "IRAN", "IRAQ", "JORDAN"])
+        )
+        .aggregate(["s_suppkey"], [agg_count("numwait")])
+    )
+
+
+def q22(catalog):
+    """Global sales opportunity: well-funded inactive customers."""
+    return (
+        PlanBuilder.scan(catalog, "customer")
+        .where(
+            col("c_nationkey").isin([13, 31, 23, 29, 30, 18, 17])
+            & (col("c_acctbal") > 0.0)
+        )
+        .aggregate(
+            ["c_nationkey"],
+            [agg_count("numcust"), agg_sum(col("c_acctbal"), "totacctbal")],
+        )
+    )
+
+
+#: builders by canonical name
+QUERY_BUILDERS = {
+    "Q1": q1, "Q2": q2, "Q3": q3, "Q4": q4, "Q5": q5, "Q6": q6, "Q7": q7,
+    "Q8": q8, "Q9": q9, "Q10": q10, "Q11": q11, "Q12": q12, "Q13": q13,
+    "Q14": q14, "Q15": q15, "Q16": q16, "Q17": q17, "Q18": q18, "Q19": q19,
+    "Q20": q20, "Q21": q21, "Q22": q22,
+}
+
+ALL_QUERY_NAMES = tuple("Q%d" % i for i in range(1, 23))
+
+#: the 10-query subset with significant overlapping work (section 5.3)
+SHARING_FRIENDLY = ("Q4", "Q5", "Q7", "Q8", "Q9", "Q15", "Q17", "Q18", "Q20", "Q21")
+
+
+def build_query(catalog, name, query_id):
+    """Build one named TPC-H query as a :class:`~repro.logical.ops.Query`."""
+    builder = QUERY_BUILDERS[name]
+    return builder(catalog).as_query(query_id, name)
+
+
+def build_workload(catalog, names=ALL_QUERY_NAMES):
+    """Build a query batch with dense ids in the given order."""
+    return [build_query(catalog, name, qid) for qid, name in enumerate(names)]

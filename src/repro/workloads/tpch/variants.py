@@ -1,0 +1,179 @@
+"""Predicate-mutation query variants (paper section 5.4).
+
+The decomposition experiment takes the sharing-friendly queries, mutates
+their predicates, and runs originals and variants together: "For 50% of
+the equality predicates, we use a different value, and for a range-based
+predicate, we generate a new predicate that with an overlap up to 50%."
+Mutated queries still share join structure with the originals (structure
+signatures ignore select predicates) while their marking selects diverge,
+which is what gives decomposition room to pay off.
+"""
+
+import random
+
+from ...logical.ops import Aggregate, Join, Project, Query, Scan, Select
+from ...relational.expressions import (
+    And,
+    Col,
+    Comparison,
+    Const,
+    Contains,
+    InList,
+    Not,
+    Or,
+    StartsWith,
+)
+from . import schema as tpch
+
+#: string value domains searched for equality-replacement candidates
+_DOMAINS = (
+    tpch.BRANDS,
+    tpch.SEGMENTS,
+    tpch.CONTAINERS,
+    tpch.SHIP_MODES,
+    tpch.ORDER_PRIORITIES,
+    tpch.NATIONS,
+    tpch.REGIONS,
+    tpch.TYPES,
+)
+
+
+def _alternative_value(value, rng):
+    """A different value from the same domain (strings) or a nudge (numbers)."""
+    if isinstance(value, str):
+        for domain in _DOMAINS:
+            if value in domain:
+                options = [v for v in domain if v != value]
+                return rng.choice(options)
+        return value + "#alt"
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return round(value * 1.1 + 0.01, 4)
+    return value
+
+
+def _collect_ranges(expr, ranges):
+    """Find per-column numeric [low, high) bounds inside a conjunction."""
+    if isinstance(expr, And):
+        _collect_ranges(expr.left, ranges)
+        _collect_ranges(expr.right, ranges)
+        return
+    if (
+        isinstance(expr, Comparison)
+        and isinstance(expr.left, Col)
+        and isinstance(expr.right, Const)
+        and isinstance(expr.right.value, (int, float))
+        and not isinstance(expr.right.value, bool)
+    ):
+        low, high = ranges.get(expr.left.name, (None, None))
+        if expr.op in (">=", ">"):
+            low = expr.right.value
+        elif expr.op in ("<=", "<"):
+            high = expr.right.value
+        ranges[expr.left.name] = (low, high)
+
+
+def _range_shift(ranges, name):
+    """Half the window width: shifting both bounds by it leaves 50% overlap."""
+    low, high = ranges.get(name, (None, None))
+    if low is not None and high is not None and high > low:
+        return (high - low) / 2.0
+    return None
+
+
+class PredicateMutator:
+    """Rewrites select predicates per the section 5.4 recipe."""
+
+    def __init__(self, rng, equality_probability=0.5):
+        self.rng = rng
+        self.equality_probability = equality_probability
+
+    def mutate_predicate(self, predicate):
+        ranges = {}
+        _collect_ranges(predicate, ranges)
+        return self._rewrite(predicate, ranges)
+
+    def _rewrite(self, expr, ranges):
+        if isinstance(expr, And):
+            return And(self._rewrite(expr.left, ranges), self._rewrite(expr.right, ranges))
+        if isinstance(expr, Or):
+            return Or(self._rewrite(expr.left, ranges), self._rewrite(expr.right, ranges))
+        if isinstance(expr, Not):
+            return Not(self._rewrite(expr.child, ranges))
+        if isinstance(expr, Comparison):
+            return self._rewrite_comparison(expr, ranges)
+        if isinstance(expr, InList):
+            if self.rng.random() < self.equality_probability:
+                values = tuple(
+                    _alternative_value(value, self.rng) for value in expr.values
+                )
+                return InList(expr.child, values)
+            return expr
+        if isinstance(expr, (StartsWith, Contains)):
+            return expr  # pattern predicates are left as-is (no clean domain)
+        return expr
+
+    def _rewrite_comparison(self, expr, ranges):
+        if not (isinstance(expr.left, Col) and isinstance(expr.right, Const)):
+            return expr
+        value = expr.right.value
+        if expr.op == "==":
+            if self.rng.random() < self.equality_probability:
+                return Comparison(
+                    "==", expr.left, Const(_alternative_value(value, self.rng))
+                )
+            return expr
+        if expr.op in (">=", ">", "<=", "<") and isinstance(value, (int, float)):
+            shift = _range_shift(ranges, expr.left.name)
+            if shift is None:
+                return expr
+            shifted = value + shift
+            if isinstance(value, int):
+                shifted = int(round(shifted))
+            return Comparison(expr.op, expr.left, Const(shifted))
+        return expr
+
+
+def _rebuild(op, mutator):
+    if isinstance(op, Scan):
+        return op
+    if isinstance(op, Select):
+        return Select(
+            _rebuild(op.child, mutator), mutator.mutate_predicate(op.predicate)
+        )
+    if isinstance(op, Project):
+        return Project(_rebuild(op.child, mutator), op.exprs)
+    if isinstance(op, Join):
+        return Join(
+            _rebuild(op.left, mutator),
+            _rebuild(op.right, mutator),
+            op.left_keys,
+            op.right_keys,
+        )
+    if isinstance(op, Aggregate):
+        return Aggregate(_rebuild(op.child, mutator), op.group_by, op.aggs)
+    raise TypeError("cannot mutate operator %r" % (op,))
+
+
+def mutate_query(query, new_query_id, seed=0):
+    """A variant of ``query`` with mutated predicates (same structure)."""
+    rng = random.Random("%s|%s" % (seed, query.name))
+    mutator = PredicateMutator(rng)
+    return Query(new_query_id, query.name + "'", _rebuild(query.root, mutator))
+
+
+def build_variant_workload(catalog, names, builder, seed=0):
+    """Originals + predicate-mutated variants with dense query ids.
+
+    ``builder`` is ``queries.build_query``-compatible; returns the
+    combined batch ``[Q..., Q'...]`` of the section 5.4 experiment.
+    """
+    originals = [builder(catalog, name, qid) for qid, name in enumerate(names)]
+    variants = [
+        mutate_query(query, len(originals) + index, seed)
+        for index, query in enumerate(originals)
+    ]
+    return originals + variants

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.engine.stream import StreamConfig
+from repro.workloads.tpch import generate_catalog
+
+from .util import (
+    batch_reference,
+    make_toy_catalog,
+    toy_query_max,
+    toy_query_region,
+    toy_query_total,
+)
+
+
+@pytest.fixture(scope="session")
+def toy_catalog():
+    return make_toy_catalog()
+
+
+@pytest.fixture(scope="session")
+def toy_queries(toy_catalog):
+    return [
+        toy_query_total(toy_catalog, 0),
+        toy_query_region(toy_catalog, 1),
+        toy_query_max(toy_catalog, 2),
+    ]
+
+
+@pytest.fixture(scope="session")
+def toy_reference(toy_catalog, toy_queries):
+    return batch_reference(toy_catalog, toy_queries)
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny():
+    """A very small TPC-H catalog shared across the suite."""
+    return generate_catalog(scale=0.15, seed=5)
+
+
+@pytest.fixture()
+def stream_config():
+    return StreamConfig()

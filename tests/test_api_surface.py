@@ -1,0 +1,71 @@
+"""API surface checks: exports resolve, docstrings exist, version sane."""
+
+import importlib
+import re
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.relational",
+    "repro.logical",
+    "repro.mqo",
+    "repro.physical",
+    "repro.engine",
+    "repro.cost",
+    "repro.core",
+    "repro.workloads",
+    "repro.workloads.tpch",
+    "repro.sqlparser",
+    "repro.harness",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), "%s.%s missing" % (name, symbol)
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_version_is_semver(self):
+        import repro
+
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_public_classes_documented(self):
+        """Every public class/function re-exported at top level has a doc."""
+        import repro
+
+        for symbol in repro.__all__:
+            obj = getattr(repro, symbol)
+            if callable(obj) or isinstance(obj, type):
+                assert getattr(obj, "__doc__", None), symbol
+
+
+class TestRunnerBatch:
+    def test_run_all_covers_requested_names(self, toy_catalog):
+        from repro.core.optimizer import OptimizerConfig
+        from repro.harness.runner import ExperimentRunner
+
+        from .util import toy_query_region, toy_query_total
+
+        queries = [toy_query_total(toy_catalog, 0), toy_query_region(toy_catalog, 1)]
+        runner = ExperimentRunner(
+            toy_catalog, queries, OptimizerConfig(max_pace=6)
+        )
+        names = ("NoShare-Uniform", "iShare")
+        results = runner.run_all({0: 1.0, 1: 0.5}, names=names)
+        assert [r.name for r in results] == list(names)
+
+    def test_variant_names_listed(self):
+        from repro.harness.runner import APPROACHES, VARIANTS
+
+        assert "iShare" in APPROACHES
+        assert "iShare (w/o unshare)" in VARIANTS
+        assert "iShare (Brute-Force)" in VARIANTS

@@ -1,0 +1,157 @@
+"""Tests for bitvectors and delta records, including property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.relational import bitvec
+from repro.relational.schema import Schema
+from repro.relational.tuples import DELETE, Delta, DeltaBatch, INSERT, consolidate
+
+
+class TestBitvec:
+    def test_bit(self):
+        assert bitvec.bit(0) == 1
+        assert bitvec.bit(3) == 8
+
+    def test_bit_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitvec.bit(-1)
+
+    def test_mask_of(self):
+        assert bitvec.mask_of([0, 2]) == 0b101
+        assert bitvec.mask_of([]) == 0
+
+    def test_iter_bits(self):
+        assert list(bitvec.iter_bits(0b1011)) == [0, 1, 3]
+        assert list(bitvec.iter_bits(0)) == []
+
+    def test_to_ids_roundtrip(self):
+        assert bitvec.to_ids(bitvec.mask_of([5, 1, 9])) == (1, 5, 9)
+
+    def test_popcount(self):
+        assert bitvec.popcount(0) == 0
+        assert bitvec.popcount(0b1110) == 3
+
+    def test_subsumes(self):
+        assert bitvec.subsumes(0b111, 0b101)
+        assert not bitvec.subsumes(0b101, 0b111)
+        assert bitvec.subsumes(0b101, 0)
+
+    def test_format_mask(self):
+        assert bitvec.format_mask(0b101) == "{q0,q2}"
+
+    @given(st.sets(st.integers(min_value=0, max_value=40)))
+    def test_mask_roundtrip_property(self, ids):
+        assert set(bitvec.to_ids(bitvec.mask_of(ids))) == ids
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=20)),
+        st.sets(st.integers(min_value=0, max_value=20)),
+    )
+    def test_subsumes_matches_set_containment(self, outer, inner):
+        assert bitvec.subsumes(bitvec.mask_of(outer), bitvec.mask_of(inner)) == (
+            inner <= outer
+        )
+
+
+class TestDelta:
+    def test_defaults(self):
+        delta = Delta((1, 2))
+        assert delta.sign == INSERT
+        assert delta.bits & 0b1111 == 0b1111  # all-ones default
+
+    def test_invalid_sign(self):
+        with pytest.raises(ExecutionError):
+            Delta((1,), sign=0)
+
+    def test_with_bits(self):
+        delta = Delta((1,), INSERT, 0b11)
+        restricted = delta.with_bits(0b01)
+        assert restricted.bits == 0b01
+        assert restricted.row == (1,)
+        assert delta.bits == 0b11  # original untouched
+
+    def test_negated(self):
+        assert Delta((1,), INSERT, 1).negated().sign == DELETE
+        assert Delta((1,), DELETE, 1).negated().sign == INSERT
+
+    def test_equality(self):
+        assert Delta((1,), INSERT, 1) == Delta((1,), INSERT, 1)
+        assert Delta((1,), INSERT, 1) != Delta((1,), DELETE, 1)
+
+
+class TestDeltaBatch:
+    def test_inserts_constructor(self):
+        schema = Schema.of("a")
+        batch = DeltaBatch.inserts(schema, [(1,), (2,)], bits=0b1)
+        assert len(batch) == 2
+        assert batch.insert_count() == 2
+        assert batch.delete_count() == 0
+
+    def test_net_multiplicities_cancels(self):
+        schema = Schema.of("a")
+        batch = DeltaBatch(schema, [
+            Delta((1,), INSERT, 1),
+            Delta((1,), DELETE, 1),
+            Delta((2,), INSERT, 1),
+        ])
+        assert batch.net_multiplicities() == {((2,), 1): 1}
+
+    def test_rows_for_query_respects_bits(self):
+        schema = Schema.of("a")
+        batch = DeltaBatch(schema, [
+            Delta((1,), INSERT, 0b01),
+            Delta((2,), INSERT, 0b10),
+            Delta((3,), INSERT, 0b11),
+        ])
+        assert batch.rows_for_query(0) == {(1,): 1, (3,): 1}
+        assert batch.rows_for_query(1) == {(2,): 1, (3,): 1}
+
+
+_delta_strategy = st.builds(
+    Delta,
+    st.tuples(st.integers(min_value=0, max_value=5)),
+    st.sampled_from([INSERT, DELETE]),
+    st.integers(min_value=1, max_value=7),
+)
+
+
+class TestConsolidate:
+    def test_cancels_pairs(self):
+        deltas = [Delta((1,), INSERT, 1), Delta((1,), DELETE, 1)]
+        assert consolidate(deltas) == []
+
+    def test_keeps_distinct_bits_separate(self):
+        deltas = [Delta((1,), INSERT, 0b01), Delta((1,), DELETE, 0b10)]
+        assert len(consolidate(deltas)) == 2
+
+    def test_expands_multiplicity(self):
+        deltas = [Delta((1,), INSERT, 1)] * 3 + [Delta((1,), DELETE, 1)]
+        out = consolidate(deltas)
+        assert len(out) == 2
+        assert all(d.sign == INSERT for d in out)
+
+    def test_preserves_first_seen_order(self):
+        deltas = [Delta((2,), INSERT, 1), Delta((1,), INSERT, 1)]
+        assert [d.row for d in consolidate(deltas)] == [(2,), (1,)]
+
+    @given(st.lists(_delta_strategy, max_size=60))
+    def test_net_multiplicities_preserved(self, deltas):
+        schema = Schema.of("a")
+        before = DeltaBatch(schema, deltas).net_multiplicities()
+        after = DeltaBatch(schema, consolidate(deltas)).net_multiplicities()
+        assert before == after
+
+    @given(st.lists(_delta_strategy, max_size=60))
+    def test_output_has_no_cancelling_pairs(self, deltas):
+        out = consolidate(deltas)
+        signs = {}
+        for delta in out:
+            key = (delta.row, delta.bits)
+            signs.setdefault(key, set()).add(delta.sign)
+        assert all(len(s) == 1 for s in signs.values())
+
+    @given(st.lists(_delta_strategy, max_size=60))
+    def test_never_longer_than_input(self, deltas):
+        assert len(consolidate(deltas)) <= len(deltas)

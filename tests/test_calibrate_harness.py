@@ -1,0 +1,156 @@
+"""Tests for calibration statistics and the experiment harness."""
+
+import pytest
+
+from repro.core.optimizer import OptimizerConfig
+from repro.engine.calibrate import calibrate_plan
+from repro.engine.stream import StreamConfig
+from repro.harness.report import MISSED_HEADERS, format_table, missed_latency_row
+from repro.harness.runner import APPROACHES, ExperimentRunner
+from repro.engine.metrics import MissedLatencySummary
+from repro.mqo.merge import MQOOptimizer, build_unshared_plan
+
+from .util import make_toy_catalog, toy_query_region, toy_query_total
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    catalog = make_toy_catalog(seed=17)
+    queries = [toy_query_total(catalog, 0), toy_query_region(catalog, 1)]
+    plan = MQOOptimizer(catalog).build_shared_plan(queries)
+    config = StreamConfig()
+    result = calibrate_plan(plan, config)
+    return catalog, queries, plan, result
+
+
+class TestCalibration:
+    def test_every_node_gets_stats(self, calibrated):
+        _, _, plan, _ = calibrated
+        for subplan in plan.subplans:
+            for node in subplan.root.walk():
+                assert node.stats is not None, node
+
+    def test_source_stats_count_table_rows(self, calibrated):
+        catalog, _, plan, _ = calibrated
+        for subplan in plan.subplans:
+            for node in subplan.root.walk():
+                if node.kind == "source" and hasattr(node.ref, "name"):
+                    assert node.stats.scanned_total == len(
+                        catalog.get(node.ref.name)
+                    )
+
+    def test_filter_selectivities_in_unit_range(self, calibrated):
+        _, _, plan, _ = calibrated
+        for subplan in plan.subplans:
+            for node in subplan.root.walk():
+                for sel in node.stats.filter_sel_per_q.values():
+                    assert 0.0 <= sel <= 1.0
+
+    def test_join_stats_consistent(self, calibrated):
+        _, _, plan, _ = calibrated
+        for subplan in plan.subplans:
+            for node in subplan.root.walk():
+                if node.kind == "join":
+                    stats = node.stats
+                    assert stats.in_left > 0 and stats.in_right > 0
+                    assert stats.join_out >= 0
+                    for qid, card in stats.join_out_per_q.items():
+                        assert card <= stats.join_out + 1e-9
+
+    def test_aggregate_group_counts(self, calibrated):
+        _, _, plan, _ = calibrated
+        for subplan in plan.subplans:
+            for node in subplan.root.walk():
+                if node.kind == "aggregate":
+                    stats = node.stats
+                    assert stats.groups_union >= 1
+                    for qid, groups in stats.groups_per_q.items():
+                        assert groups <= stats.groups_union
+
+    def test_batch_work_per_query_positive(self, calibrated):
+        _, queries, _, result = calibrated
+        for query in queries:
+            assert result.query_batch_work[query.query_id] > 0
+            assert result.query_batch_latency[query.query_id] > 0
+
+    def test_calibration_is_batch_run(self, calibrated):
+        _, _, _, result = calibrated
+        assert all(record.fraction == 1 for record in result.run.records)
+
+
+class TestReportFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(("A", "Bee"), [["x", 1.0], ["longer", 2345.678]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[1:2])) == 1
+
+    def test_format_table_title(self):
+        text = format_table(("A",), [["x"]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_float_rendering(self):
+        text = format_table(("A",), [[1234.5678], [0.125]])
+        assert "1235" in text  # large floats rounded to integers
+        assert "0.12" in text or "0.13" in text
+
+    def test_missed_latency_row(self):
+        summary = MissedLatencySummary()
+        summary.add(12.0, 10.0)
+        row = missed_latency_row("X", summary)
+        assert row[0] == "X"
+        assert len(row) == len(MISSED_HEADERS)
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        catalog = make_toy_catalog(seed=23)
+        queries = [toy_query_total(catalog, 0), toy_query_region(catalog, 1)]
+        config = OptimizerConfig(max_pace=12, stream_config=StreamConfig())
+        return ExperimentRunner(catalog, queries, config)
+
+    def test_batch_latencies_cached(self, runner):
+        first = runner.batch_latencies()
+        assert runner.batch_latencies() is first
+        assert all(value > 0 for value in first.values())
+
+    def test_latency_goals_scale_batch(self, runner):
+        relative = {0: 0.5, 1: 1.0}
+        goals = runner.latency_goals(relative)
+        latencies = runner.batch_latencies()
+        assert goals[0] == pytest.approx(0.5 * latencies[0])
+        assert goals[1] == pytest.approx(latencies[1])
+
+    def test_constraints_cached_per_level(self, runner):
+        a = runner.absolute_constraints({0: 0.5, 1: 0.5})
+        b = runner.absolute_constraints({0: 0.5, 1: 0.5})
+        c = runner.absolute_constraints({0: 0.2, 1: 0.2})
+        assert a is b
+        assert c is not a
+
+    @pytest.mark.parametrize("name", APPROACHES)
+    def test_every_approach_runs(self, runner, name):
+        result = runner.run_approach(name, {0: 1.0, 1: 0.5})
+        assert result.total_seconds > 0
+        assert result.missed.row()[0] >= 0
+
+    def test_unknown_approach_rejected(self, runner):
+        with pytest.raises(ValueError, match="unknown approach"):
+            runner.run_approach("MagicShare", {0: 1.0, 1: 1.0})
+
+    def test_pace_override(self, runner):
+        result = runner.run_approach(
+            "NoShare-Uniform", {0: 1.0, 1: 1.0},
+            pace_override=None,
+        )
+        plan = result.optimization.plan
+        override = {s.sid: 2 for s in plan.subplans}
+        forced = runner.run_approach(
+            "NoShare-Uniform", {0: 1.0, 1: 1.0}, pace_override=override
+        )
+        assert forced.run.pace_config == override
+
+    def test_variant_approaches_resolve(self, runner):
+        without = runner.run_approach("iShare (w/o unshare)", {0: 1.0, 1: 1.0})
+        assert without.optimization.approach == "iShare (w/o unshare)"

@@ -1,0 +1,190 @@
+"""Tests for canonicalization, substitution and predicate pushdown."""
+
+import pytest
+
+from repro.logical.builder import PlanBuilder
+from repro.mqo.canonical import (
+    canonicalize,
+    canonicalize_optimized,
+    push_down_filters,
+    split_conjuncts,
+    substitute,
+)
+from repro.relational.expressions import And, Col, col, agg_sum, agg_count
+
+from .util import batch_reference, make_toy_catalog, assert_plan_correct
+from repro.mqo.merge import build_unshared_plan
+
+
+@pytest.fixture()
+def catalog(toy_catalog):
+    return toy_catalog
+
+
+class TestSubstitute:
+    def test_replaces_mapped_columns(self):
+        expr = col("x") + col("y")
+        out = substitute(expr, {"x": col("a") * 2})
+        fn = out.compile(__import__("repro.relational.schema", fromlist=["Schema"]).Schema.of("a", "y"))
+        assert fn((3, 4)) == 10
+
+    def test_leaves_unmapped_columns(self):
+        expr = col("x") > 1
+        out = substitute(expr, {"other": col("z")})
+        assert out.columns() == {"x"}
+
+    def test_handles_all_node_kinds(self):
+        expr = (
+            ((col("x") + 1).isin([1, 2]))
+            & ~(col("x") < 3)
+            | (col("x") == 5)
+        )
+        out = substitute(expr, {"x": col("y")})
+        assert out.columns() == {"y"}
+
+
+class TestCanonicalize:
+    def test_scan_only(self, catalog):
+        plan = PlanBuilder.scan(catalog, "items").build()
+        node = canonicalize(plan)
+        assert node.kind == "scan"
+        assert node.filter is None and node.projection is None
+
+    def test_consecutive_selects_merge(self, catalog):
+        plan = (
+            PlanBuilder.scan(catalog, "items")
+            .where(col("price") > 1)
+            .where(col("price") < 50)
+            .build()
+        )
+        node = canonicalize(plan)
+        assert node.kind == "scan"
+        assert isinstance(node.filter, And)
+
+    def test_select_above_project_is_rewritten(self, catalog):
+        plan = (
+            PlanBuilder.scan(catalog, "items")
+            .project([("double", col("price") * 2)])
+            .where(col("double") > 10)
+            .build()
+        )
+        node = canonicalize(plan)
+        # the predicate must now reference the base column, not the alias
+        assert node.filter.columns() == {"price"}
+        assert node.projection is not None
+
+    def test_projects_compose(self, catalog):
+        plan = (
+            PlanBuilder.scan(catalog, "items")
+            .project([("d", col("price") * 2)])
+            .project([("q", col("d") + 1)])
+            .build()
+        )
+        node = canonicalize(plan)
+        assert [alias for alias, _ in node.projection] == ["q"]
+        expr = dict(node.projection)["q"]
+        assert expr.columns() == {"price"}
+
+    def test_structure_key_ignores_decorations(self, catalog):
+        base = PlanBuilder.scan(catalog, "items")
+        a = canonicalize(base.where(col("price") > 5).build())
+        b = canonicalize(base.project(["item_id"]).build())
+        c = canonicalize(base.build())
+        assert a.structure_key() == b.structure_key() == c.structure_key()
+
+    def test_join_and_aggregate_structure(self, catalog):
+        plan = (
+            PlanBuilder.scan(catalog, "events")
+            .join(PlanBuilder.scan(catalog, "items"), "ev_item", "item_id")
+            .aggregate("item_cat", [agg_sum(col("qty"), "t")])
+            .build()
+        )
+        node = canonicalize(plan)
+        assert node.kind == "aggregate"
+        assert node.children[0].kind == "join"
+        assert [c.kind for c in node.children[0].children] == ["scan", "scan"]
+
+
+class TestSplitConjuncts:
+    def test_flattens_nested_ands(self):
+        expr = (col("a") > 1) & (col("b") > 2) & (col("c") > 3)
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_or_is_one_conjunct(self):
+        expr = (col("a") > 1) | (col("b") > 2)
+        assert len(split_conjuncts(expr)) == 1
+
+
+class TestPushdown:
+    def _three_way(self, catalog, predicate):
+        return (
+            PlanBuilder.scan(catalog, "events")
+            .join(PlanBuilder.scan(catalog, "items"), "ev_item", "item_id")
+            .join(PlanBuilder.scan(catalog, "categories"), "item_cat", "cat_id")
+            .where(predicate)
+            .build()
+        )
+
+    def test_single_side_conjunct_reaches_scan(self, catalog):
+        plan = self._three_way(catalog, col("region") == "EU")
+        node = canonicalize_optimized(plan)
+        # predicate on categories columns must sit on the categories scan
+        scans = [n for n in node.walk() if n.kind == "scan"]
+        cat_scan = [n for n in scans if n.payload == "categories"][0]
+        assert cat_scan.filter is not None
+        assert node.filter is None
+
+    def test_cross_side_conjunct_stays_at_join(self, catalog):
+        plan = self._three_way(catalog, col("qty") > col("cat_id"))
+        node = canonicalize_optimized(plan)
+        assert node.filter is not None
+
+    def test_mixed_conjunction_splits(self, catalog):
+        predicate = (col("region") == "EU") & (col("qty") > col("cat_id"))
+        plan = self._three_way(catalog, predicate)
+        node = canonicalize_optimized(plan)
+        assert node.filter is not None  # the cross-side part remains
+        scans = [n for n in node.walk() if n.kind == "scan"]
+        cat_scan = [n for n in scans if n.payload == "categories"][0]
+        assert cat_scan.filter is not None
+
+    def test_group_column_filter_pushes_below_aggregate(self, catalog):
+        plan = (
+            PlanBuilder.scan(catalog, "events")
+            .aggregate(["ev_item"], [agg_sum(col("qty"), "t")])
+            .where(col("ev_item") < 10)
+            .build()
+        )
+        node = canonicalize_optimized(plan)
+        assert node.filter is None
+        assert node.children[0].filter is not None
+
+    def test_aggregate_result_filter_stays(self, catalog):
+        plan = (
+            PlanBuilder.scan(catalog, "events")
+            .aggregate(["ev_item"], [agg_sum(col("qty"), "t")])
+            .where(col("t") > 100)
+            .build()
+        )
+        node = canonicalize_optimized(plan)
+        assert node.filter is not None
+
+    def test_pushdown_preserves_semantics(self, catalog):
+        # run the same query with and without pushdown; results must match
+        queries = [
+            (
+                PlanBuilder.scan(catalog, "events")
+                .join(PlanBuilder.scan(catalog, "items"), "ev_item", "item_id")
+                .join(PlanBuilder.scan(catalog, "categories"), "item_cat", "cat_id")
+                .where((col("region") == "EU") & (col("qty") > 2) & (col("price") < 60))
+                .aggregate(["cat_name"], [agg_count("n")])
+                .as_query(0, "pushdown_check")
+            )
+        ]
+        reference = batch_reference(catalog, queries)
+        plan = build_unshared_plan(catalog, queries)  # uses the optimized path
+        assert_plan_correct(plan, queries, reference)
+        # and with eager paces
+        assert_plan_correct(
+            plan, queries, reference, paces={s.sid: 7 for s in plan.subplans}
+        )

@@ -1,0 +1,229 @@
+"""Tests for incrementability, the greedy pace searches and pace helpers."""
+
+import pytest
+
+from repro.core.greedy import PaceSearch, decrease_paces
+from repro.core.incrementability import (
+    benefit,
+    bounded_final_work,
+    constraints_met,
+    incrementability,
+    unmet_queries,
+)
+from repro.core.pace import (
+    batch_configuration,
+    can_decrease,
+    can_increase,
+    is_eagerer_or_equal,
+    uniform_configuration,
+    validate_parent_child,
+    with_pace,
+)
+from repro.cost.memo import CostEvaluation, PlanCostModel
+from repro.cost.model import CostConfig
+from repro.engine.calibrate import calibrate_plan
+from repro.engine.stream import StreamConfig
+from repro.errors import OptimizationError
+from repro.mqo.merge import MQOOptimizer, build_unshared_plan
+
+from .util import make_toy_catalog, toy_query_max, toy_query_region, toy_query_total
+
+
+def make_eval(total, finals):
+    evaluation = CostEvaluation()
+    evaluation.total_work = total
+    evaluation.query_final_work = dict(finals)
+    return evaluation
+
+
+class TestIncrementabilityMath:
+    def test_bounded_final_work(self):
+        assert bounded_final_work(5.0, 10.0) == 10.0
+        assert bounded_final_work(15.0, 10.0) == 15.0
+
+    def test_benefit_counts_only_missed_reduction(self):
+        lazy = make_eval(100, {0: 50.0})
+        eager = make_eval(120, {0: 30.0})
+        # constraint 40: missed goes 10 -> 0, so benefit is 10 (not 20)
+        assert benefit(eager, lazy, {0: 40.0}) == pytest.approx(10.0)
+
+    def test_benefit_zero_when_already_met(self):
+        lazy = make_eval(100, {0: 30.0})
+        eager = make_eval(120, {0: 10.0})
+        assert benefit(eager, lazy, {0: 40.0}) == 0.0
+
+    def test_benefit_sums_over_queries(self):
+        lazy = make_eval(100, {0: 50.0, 1: 80.0})
+        eager = make_eval(120, {0: 45.0, 1: 60.0})
+        constraints = {0: 10.0, 1: 10.0}
+        assert benefit(eager, lazy, constraints) == pytest.approx(5.0 + 20.0)
+
+    def test_incrementability_ratio(self):
+        lazy = make_eval(100, {0: 50.0})
+        eager = make_eval(120, {0: 30.0})
+        assert incrementability(eager, lazy, {0: 0.0}) == pytest.approx(1.0)
+
+    def test_free_improvement_is_infinite(self):
+        lazy = make_eval(100, {0: 50.0})
+        eager = make_eval(100, {0: 30.0})
+        assert incrementability(eager, lazy, {0: 0.0}) == float("inf")
+
+    def test_no_benefit_no_extra_work_is_zero(self):
+        lazy = make_eval(100, {0: 50.0})
+        eager = make_eval(90, {0: 50.0})
+        assert incrementability(eager, lazy, {0: 0.0}) == 0.0
+
+    def test_unmet_and_met(self):
+        evaluation = make_eval(0, {0: 5.0, 1: 20.0})
+        constraints = {0: 10.0, 1: 10.0}
+        assert unmet_queries(evaluation, constraints) == [1]
+        assert not constraints_met(evaluation, constraints)
+        assert constraints_met(evaluation, {0: 10.0, 1: 30.0})
+
+
+@pytest.fixture(scope="module")
+def search_setup():
+    catalog = make_toy_catalog()
+    queries = [
+        toy_query_total(catalog, 0),
+        toy_query_region(catalog, 1),
+        toy_query_max(catalog, 2),
+    ]
+    plan = MQOOptimizer(catalog).build_shared_plan(queries)
+    config = StreamConfig()
+    calibrate_plan(plan, config)
+    model = PlanCostModel(plan, CostConfig(state_factor=config.state_factor))
+    return catalog, queries, plan, model
+
+
+class TestPaceHelpers:
+    def test_batch_and_uniform(self, search_setup):
+        _, _, plan, _ = search_setup
+        assert set(batch_configuration(plan).values()) == {1}
+        assert set(uniform_configuration(plan, 7).values()) == {7}
+
+    def test_with_pace_copies(self, search_setup):
+        _, _, plan, _ = search_setup
+        base = batch_configuration(plan)
+        sid = plan.subplans[0].sid
+        updated = with_pace(base, sid, 5)
+        assert updated[sid] == 5 and base[sid] == 1
+
+    def test_is_eagerer_or_equal(self, search_setup):
+        _, _, plan, _ = search_setup
+        lazy = batch_configuration(plan)
+        eager = uniform_configuration(plan, 3)
+        assert is_eagerer_or_equal(eager, lazy)
+        assert not is_eagerer_or_equal(lazy, eager)
+
+    def test_validate_parent_child(self, search_setup):
+        _, _, plan, _ = search_setup
+        validate_parent_child(plan, batch_configuration(plan))
+        shared = plan.shared_subplans()[0]
+        parent = plan.parents_of(shared)[0]
+        bad = batch_configuration(plan)
+        bad[parent.sid] = 5  # parent eagerer than child
+        with pytest.raises(OptimizationError):
+            validate_parent_child(plan, bad)
+
+    def test_can_increase_respects_children(self, search_setup):
+        _, _, plan, _ = search_setup
+        shared = plan.shared_subplans()[0]
+        parent = plan.parents_of(shared)[0]
+        paces = batch_configuration(plan)
+        assert not can_increase(plan, paces, parent.sid, max_pace=10)
+        paces[shared.sid] = 2
+        assert can_increase(plan, paces, parent.sid, max_pace=10)
+        assert not can_increase(plan, paces, parent.sid, max_pace=1)
+
+    def test_can_decrease_respects_parents(self, search_setup):
+        _, _, plan, _ = search_setup
+        shared = plan.shared_subplans()[0]
+        paces = uniform_configuration(plan, 3)
+        assert not can_decrease(plan, paces, shared.sid)
+        for parent in plan.parents_of(shared):
+            paces[parent.sid] = 1
+        assert can_decrease(plan, paces, shared.sid)
+        paces[shared.sid] = 1
+        assert not can_decrease(plan, paces, shared.sid)
+
+
+class TestAscendingSearch:
+    def test_loose_constraints_stay_near_batch(self, search_setup):
+        _, _, plan, model = search_setup
+        constraints = model.absolute_constraints({0: 1.0, 1: 1.0, 2: 1.0})
+        result = PaceSearch(model, constraints, max_pace=16).find()
+        assert result.met_constraints
+        # a shared plan's final work can slightly exceed the solo batch
+        # (marks keep union tuples), so at most a small pace bump is needed
+        assert max(result.pace_config.values()) <= 2
+        assert result.iterations <= 3
+
+    def test_tight_constraints_raise_paces(self, search_setup):
+        _, _, plan, model = search_setup
+        constraints = model.absolute_constraints({0: 0.2, 1: 0.2, 2: 1.0})
+        result = PaceSearch(model, constraints, max_pace=32).find()
+        assert result.met_constraints
+        assert max(result.pace_config.values()) > 1
+        validate_parent_child(plan, result.pace_config)
+
+    def test_only_constrained_queries_get_eager(self, search_setup):
+        _, _, plan, model = search_setup
+        constraints = model.absolute_constraints({0: 1.0, 1: 0.2, 2: 1.0})
+        result = PaceSearch(model, constraints, max_pace=32).find()
+        # q2's standalone pipeline must remain at batch
+        for subplan in plan.subplans_of_query(2):
+            if subplan.query_mask == 0b100:
+                assert result.pace_config[subplan.sid] == 1
+
+    def test_unmeetable_constraints_hit_max_pace(self, search_setup):
+        _, _, plan, model = search_setup
+        constraints = {0: 1.0, 1: 1.0, 2: 1.0}  # one work unit: impossible
+        result = PaceSearch(model, constraints, max_pace=4).find()
+        assert not result.met_constraints
+        assert all(
+            result.pace_config[s.sid] == 4 for s in plan.subplans
+        )
+
+    def test_groups_move_together(self, search_setup):
+        _, _, plan, model = search_setup
+        groups = [[s.sid for s in plan.subplans]]
+        constraints = model.absolute_constraints({0: 0.3, 1: 0.3, 2: 0.3})
+        result = PaceSearch(model, constraints, max_pace=32, groups=groups).find()
+        assert len(set(result.pace_config.values())) == 1
+
+    def test_groups_must_partition(self, search_setup):
+        _, _, plan, model = search_setup
+        with pytest.raises(OptimizationError, match="partition"):
+            PaceSearch(model, {}, 8, groups=[[plan.subplans[0].sid]])
+
+
+class TestDescendingSearch:
+    def test_decrease_reduces_total_keeping_constraints(self, search_setup):
+        _, _, plan, model = search_setup
+        constraints = model.absolute_constraints({0: 0.5, 1: 0.5, 2: 1.0})
+        eager = uniform_configuration(plan, 16)
+        paces, evaluation = decrease_paces(model, constraints, eager)
+        eager_eval = model.evaluate(eager)
+        assert evaluation.total_work < eager_eval.total_work
+        assert constraints_met(evaluation, constraints)
+        validate_parent_child(plan, paces)
+
+    def test_decrease_is_noop_at_batch(self, search_setup):
+        _, _, plan, model = search_setup
+        constraints = model.absolute_constraints({0: 1.0, 1: 1.0, 2: 1.0})
+        batch = batch_configuration(plan)
+        paces, _ = decrease_paces(model, constraints, batch)
+        assert paces == batch
+
+    def test_decrease_never_violates_unmet_queries_further(self, search_setup):
+        _, _, plan, model = search_setup
+        # impossible constraints: decrease must not worsen any miss
+        constraints = {0: 1.0, 1: 1.0, 2: 1.0}
+        eager = uniform_configuration(plan, 8)
+        eager_eval = model.evaluate(eager)
+        paces, evaluation = decrease_paces(model, constraints, eager)
+        for qid in constraints:
+            assert evaluation.query_final_work[qid] <= max(
+                constraints[qid], eager_eval.query_final_work[qid]
+            ) + 1e-6

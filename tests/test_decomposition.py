@@ -1,0 +1,281 @@
+"""Tests for splitting, plan regeneration, partial and full decomposition."""
+
+import pytest
+
+from repro.core.decompose import decompose_full_plan
+from repro.core.greedy import PaceSearch
+from repro.core.partial import bfs_order, partial_cut_candidates
+from repro.core.regenerate import apply_split
+from repro.core.split import LocalSplitOptimizer, set_partitions
+from repro.cost.memo import PlanCostModel
+from repro.cost.model import CostConfig
+from repro.engine.calibrate import calibrate_plan
+from repro.engine.stream import StreamConfig
+from repro.errors import OptimizationError
+from repro.mqo.merge import MQOOptimizer
+from repro.relational import bitvec
+
+from .util import (
+    assert_plan_correct,
+    batch_reference,
+    make_toy_catalog,
+    toy_query_region,
+    toy_query_total,
+)
+
+
+def bell(n):
+    """Bell numbers via the Bell triangle (reference for set_partitions)."""
+    row = [1]
+    for _ in range(n - 1):
+        nxt = [row[-1]]
+        for value in row:
+            nxt.append(nxt[-1] + value)
+        row = nxt
+    return row[-1]
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n,count", [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)])
+    def test_counts_are_bell_numbers(self, n, count):
+        assert len(list(set_partitions(range(n)))) == count
+        assert bell(n) == count
+
+    def test_each_partition_covers_items(self):
+        for partition in set_partitions([1, 2, 3]):
+            flat = sorted(x for block in partition for x in block)
+            assert flat == [1, 2, 3]
+
+    def test_partitions_are_unique(self):
+        partitions = [
+            tuple(sorted(map(tuple, p))) for p in set_partitions(range(4))
+        ]
+        assert len(partitions) == len(set(partitions))
+
+    def test_empty(self):
+        assert list(set_partitions([])) == [[]]
+
+
+@pytest.fixture(scope="module")
+def split_setup():
+    """Three queries sharing one subplan, calibrated, pace-optimized."""
+    catalog = make_toy_catalog(seed=21)
+    queries = [
+        toy_query_total(catalog, 0),
+        toy_query_region(catalog, 1, region="EU"),
+        toy_query_region(catalog, 2, region="US"),
+    ]
+    # queries 1 and 2 share an identical aggregate; all three share joins
+    queries[2].name = "toy_region_us"
+    plan = MQOOptimizer(catalog).build_shared_plan(queries)
+    config = StreamConfig()
+    calibrate_plan(plan, config)
+    model = PlanCostModel(plan, CostConfig(state_factor=config.state_factor))
+    constraints = model.absolute_constraints({0: 1.0, 1: 0.2, 2: 0.2})
+    search = PaceSearch(model, constraints, max_pace=24)
+    found = search.find()
+    return catalog, queries, plan, config, model, constraints, found
+
+
+class TestLocalSplitOptimizer:
+    def _optimizer(self, split_setup, subplan=None):
+        catalog, queries, plan, config, model, constraints, found = split_setup
+        target = subplan or max(
+            plan.shared_subplans(), key=lambda s: bitvec.popcount(s.query_mask)
+        )
+        evaluation = model.evaluate(found.pace_config, collect_inputs=True)
+        local = model.local_constraints(target, constraints)
+        return LocalSplitOptimizer(
+            target, evaluation.subplan_inputs[target.sid], local, 24,
+            CostConfig(state_factor=config.state_factor),
+        )
+
+    def test_partition_cost_is_cached(self, split_setup):
+        optimizer = self._optimizer(split_setup)
+        part = (optimizer.queries[0],)
+        optimizer.partition_cost(part, 3)
+        count = optimizer.simulations
+        optimizer.partition_cost(part, 3)
+        assert optimizer.simulations == count
+
+    def test_partition_constraint_is_minimum(self, split_setup):
+        optimizer = self._optimizer(split_setup)
+        singles = [
+            optimizer.partition_constraint((qid,)) for qid in optimizer.queries
+        ]
+        merged = optimizer.partition_constraint(tuple(optimizer.queries))
+        assert merged == pytest.approx(min(singles))
+
+    def test_selected_pace_meets_constraint_when_possible(self, split_setup):
+        optimizer = self._optimizer(split_setup)
+        part = tuple(optimizer.queries)
+        pace, _ = optimizer.selected_pace(part)
+        _, final = optimizer.partition_cost(part, pace)
+        bound = optimizer.partition_constraint(part)
+        if pace < optimizer.max_pace:
+            assert final <= bound
+
+    def test_selected_pace_monotone_under_merge(self, split_setup):
+        """Merging partitions can only raise the selected pace (section 4.1.2)."""
+        optimizer = self._optimizer(split_setup)
+        queries = optimizer.queries
+        pace_a, _ = optimizer.selected_pace((queries[0],))
+        pace_b, _ = optimizer.selected_pace((queries[1],))
+        merged, _ = optimizer.selected_pace((queries[0], queries[1]))
+        assert merged >= max(1, min(pace_a, pace_b)) - 1  # monotone modulo max cap
+        assert merged >= 1
+
+    def test_cluster_covers_all_queries(self, split_setup):
+        optimizer = self._optimizer(split_setup)
+        decision = optimizer.cluster()
+        flat = sorted(q for part, _ in decision.partitions for q in part)
+        assert flat == sorted(optimizer.queries)
+
+    def test_brute_force_at_least_as_good_locally(self, split_setup):
+        optimizer = self._optimizer(split_setup)
+        greedy = optimizer.cluster()
+        exhaustive = optimizer.brute_force()
+        assert exhaustive.local_total_work <= greedy.local_total_work + 1e-6
+
+    def test_brute_force_caps_large_query_sets(self, split_setup):
+        optimizer = self._optimizer(split_setup)
+        decision = optimizer.brute_force(max_queries=1)
+        flat = sorted(q for part, _ in decision.partitions for q in part)
+        assert flat == sorted(optimizer.queries)  # fell back to clustering
+
+
+class TestApplySplit:
+    def test_split_into_singletons_preserves_results(self, split_setup):
+        catalog, queries, plan, config, model, constraints, found = split_setup
+        shared = max(
+            plan.shared_subplans(), key=lambda s: bitvec.popcount(s.query_mask)
+        )
+        parts = [(qid,) for qid in shared.query_ids()]
+        new_plan, initial = apply_split(plan, found.pace_config, shared.sid, parts)
+        new_plan.validate()
+        assert shared.sid not in {s.sid for s in new_plan.subplans}
+        reference = batch_reference(catalog, queries)
+        assert_plan_correct(
+            new_plan, queries, reference,
+            paces={s.sid: 1 for s in new_plan.subplans},
+        )
+
+    def test_initial_paces_inherit_from_origin(self, split_setup):
+        catalog, queries, plan, config, model, constraints, found = split_setup
+        shared = max(
+            plan.shared_subplans(), key=lambda s: bitvec.popcount(s.query_mask)
+        )
+        parts = [(qid,) for qid in shared.query_ids()]
+        new_plan, initial = apply_split(plan, found.pace_config, shared.sid, parts)
+        old_pace = found.pace_config[shared.sid]
+        derived = [
+            initial[s.sid] for s in new_plan.subplans
+            if s.sid not in found.pace_config
+        ]
+        assert derived and all(p >= old_pace for p in derived)
+
+    def test_split_subsumption_repair(self, split_setup):
+        """Parents spanning partitions are split recursively (Figure 8)."""
+        catalog, queries, plan, config, model, constraints, found = split_setup
+        shared = max(
+            plan.shared_subplans(), key=lambda s: bitvec.popcount(s.query_mask)
+        )
+        parts = [(qid,) for qid in shared.query_ids()]
+        new_plan, _ = apply_split(plan, found.pace_config, shared.sid, parts)
+        for subplan in new_plan.subplans:
+            for child in subplan.child_subplans():
+                assert bitvec.subsumes(child.query_mask, subplan.query_mask)
+
+    def test_split_rejects_non_covering_partitions(self, split_setup):
+        _, _, plan, _, _, _, found = split_setup
+        shared = plan.shared_subplans()[0]
+        with pytest.raises(OptimizationError, match="cover"):
+            apply_split(plan, found.pace_config, shared.sid,
+                        [(shared.query_ids()[0],)])
+
+    def test_split_rejects_single_partition(self, split_setup):
+        _, _, plan, _, _, _, found = split_setup
+        shared = plan.shared_subplans()[0]
+        with pytest.raises(OptimizationError, match="two partitions"):
+            apply_split(plan, found.pace_config, shared.sid,
+                        [tuple(shared.query_ids())])
+
+    def test_original_plan_untouched(self, split_setup):
+        catalog, queries, plan, config, model, constraints, found = split_setup
+        before = plan.describe()
+        shared = max(
+            plan.shared_subplans(), key=lambda s: bitvec.popcount(s.query_mask)
+        )
+        parts = [(qid,) for qid in shared.query_ids()]
+        apply_split(plan, found.pace_config, shared.sid, parts)
+        assert plan.describe() == before
+
+
+class TestPartialDecomposition:
+    def test_bfs_order_root_first(self, split_setup):
+        _, _, plan, _, _, _, _ = split_setup
+        shared = plan.shared_subplans()[0]
+        order = bfs_order(shared.root)
+        assert order[0] is shared.root
+        # parents precede children
+        position = {id(node): index for index, node in enumerate(order)}
+        for node in order:
+            for child in node.children:
+                assert position[id(node)] < position[id(child)]
+
+    def test_candidates_are_valid_plans(self, split_setup):
+        catalog, queries, plan, *_ = split_setup
+        shared = max(
+            plan.shared_subplans(), key=lambda s: s.operator_count()
+        )
+        reference = batch_reference(catalog, queries)
+        count = 0
+        for cut_plan, top_sid, bottom_sids in partial_cut_candidates(plan, shared.sid):
+            cut_plan.validate()
+            count += 1
+            assert bottom_sids
+            if count == 2:  # execute a couple of candidates fully
+                assert_plan_correct(
+                    cut_plan, queries, reference,
+                    paces={s.sid: 1 for s in cut_plan.subplans},
+                )
+        assert 0 < count < shared.operator_count()
+
+    def test_candidate_count_bounded_by_operators(self, split_setup):
+        _, _, plan, *_ = split_setup
+        for shared in plan.shared_subplans():
+            candidates = list(partial_cut_candidates(plan, shared.sid))
+            assert len(candidates) <= shared.operator_count()
+
+
+class TestFullDecomposition:
+    def test_decompose_never_increases_estimated_total(self, split_setup):
+        catalog, queries, plan, config, model, constraints, found = split_setup
+        outcome = decompose_full_plan(
+            plan, found.pace_config, constraints, 24,
+            cost_config=CostConfig(state_factor=config.state_factor),
+            cost_model=model,
+        )
+        assert outcome.evaluation.total_work <= found.evaluation.total_work + 1e-6
+        outcome.plan.validate()
+
+    def test_decomposed_plan_is_still_correct(self, split_setup):
+        catalog, queries, plan, config, model, constraints, found = split_setup
+        outcome = decompose_full_plan(
+            plan, found.pace_config, constraints, 24,
+            cost_config=CostConfig(state_factor=config.state_factor),
+        )
+        reference = batch_reference(catalog, queries)
+        assert_plan_correct(
+            outcome.plan, queries, reference, paces=outcome.pace_config,
+            stream_config=config,
+        )
+
+    def test_actions_record_improvements(self, split_setup):
+        catalog, queries, plan, config, model, constraints, found = split_setup
+        outcome = decompose_full_plan(
+            plan, found.pace_config, constraints, 24,
+            cost_config=CostConfig(state_factor=config.state_factor),
+        )
+        for action in outcome.actions:
+            assert action.work_after < action.work_before

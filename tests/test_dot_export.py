@@ -1,0 +1,58 @@
+"""Tests for the Graphviz plan export and CSV experiment export."""
+
+from repro.harness.experiments import ExperimentResult
+from repro.mqo.dot import plan_to_dot
+from repro.mqo.merge import MQOOptimizer
+
+from .util import toy_query_region, toy_query_total
+
+
+class TestPlanToDot:
+    def test_contains_all_subplans_and_queries(self, toy_catalog):
+        queries = [toy_query_total(toy_catalog, 0), toy_query_region(toy_catalog, 1)]
+        plan = MQOOptimizer(toy_catalog).build_shared_plan(queries)
+        dot = plan_to_dot(plan, title="demo")
+        assert dot.startswith("digraph")
+        assert dot.count("subgraph") == len(plan.subplans)
+        for qid in plan.query_roots:
+            assert "q%d output" % qid in dot
+        assert '"demo"' in dot
+
+    def test_buffer_edges_dashed(self, toy_catalog):
+        queries = [toy_query_total(toy_catalog, 0), toy_query_region(toy_catalog, 1)]
+        plan = MQOOptimizer(toy_catalog).build_shared_plan(queries)
+        dot = plan_to_dot(plan)
+        assert "style=dashed" in dot
+
+    def test_marks_annotated(self, toy_catalog):
+        queries = [toy_query_total(toy_catalog, 0), toy_query_region(toy_catalog, 1)]
+        plan = MQOOptimizer(toy_catalog).build_shared_plan(queries)
+        dot = plan_to_dot(plan)
+        assert "σ*" in dot  # q1's region filter is a mark somewhere
+
+    def test_balanced_braces(self, toy_catalog):
+        queries = [toy_query_total(toy_catalog, 0)]
+        plan = MQOOptimizer(toy_catalog).build_shared_plan(queries)
+        dot = plan_to_dot(plan)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestCsvExport:
+    def test_tables_round_trip(self):
+        result = ExperimentResult("demo")
+        result.add_table(("a", "b"), [[1, 2.5], ["x", "y"]], title="t")
+        csv_text = result.to_csv()
+        lines = [line for line in csv_text.splitlines() if line.strip()]
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "x,y"
+
+    def test_sections_still_render(self):
+        result = ExperimentResult("demo")
+        result.add_table(("h",), [["v"]], title="title")
+        assert "title" in result.text()
+        assert "h" in result.text()
+
+    def test_no_tables_empty_csv(self):
+        result = ExperimentResult("demo")
+        assert result.to_csv() == ""

@@ -1,0 +1,114 @@
+"""Engine edge cases: shared roots, custom schedules, degenerate plans."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.compare import assert_results_close
+from repro.engine.executor import PlanExecutor
+from repro.engine.stream import StreamConfig
+from repro.errors import ExecutionError
+from repro.logical.builder import PlanBuilder
+from repro.mqo.merge import MQOOptimizer, build_unshared_plan
+from repro.relational.expressions import agg_count, agg_sum, col
+
+from .util import batch_reference, make_toy_catalog, toy_query_total
+
+
+class TestIdenticalQueriesSharedRoot:
+    def test_both_queries_get_results_from_one_subplan(self, toy_catalog):
+        a = toy_query_total(toy_catalog, 0)
+        b = toy_query_total(toy_catalog, 1)
+        plan = MQOOptimizer(toy_catalog).build_shared_plan([a, b])
+        assert len(plan.subplans) == 1
+        run = PlanExecutor(plan).run({plan.subplans[0].sid: 3})
+        reference = batch_reference(toy_catalog, [a, b])
+        for qid in (0, 1):
+            assert_results_close(run.query_results[qid], reference[qid])
+        # both queries' final work comes from the same final execution
+        assert run.query_final_work[0] == run.query_final_work[1]
+
+
+class TestCustomSchedules:
+    def test_two_phase_schedule_matches_batch_results(self, toy_catalog):
+        query = toy_query_total(toy_catalog, 0)
+        plan = build_unshared_plan(toy_catalog, [query])
+        executor = PlanExecutor(plan)
+        run = executor.run_schedule({0: [Fraction(3, 5), Fraction(1)]})
+        reference = batch_reference(toy_catalog, [query])
+        assert_results_close(run.query_results[0], reference[0])
+        assert len(run.records) == 2
+
+    def test_schedule_without_trigger_point_rejected(self, toy_catalog):
+        query = toy_query_total(toy_catalog, 0)
+        plan = build_unshared_plan(toy_catalog, [query])
+        executor = PlanExecutor(plan)
+        with pytest.raises(ExecutionError, match="trigger point"):
+            executor.run_schedule({0: [Fraction(1, 2)]})
+
+    def test_irregular_schedule_correctness(self, toy_catalog):
+        query = toy_query_total(toy_catalog, 0)
+        plan = build_unshared_plan(toy_catalog, [query])
+        executor = PlanExecutor(plan)
+        run = executor.run_schedule(
+            {0: [Fraction(1, 7), Fraction(1, 6), Fraction(9, 10), Fraction(1)]}
+        )
+        reference = batch_reference(toy_catalog, [query])
+        assert_results_close(run.query_results[0], reference[0])
+        assert len(run.records) == 4
+
+    def test_empty_windows_cost_only_overhead(self, toy_catalog):
+        query = toy_query_total(toy_catalog, 0)
+        plan = build_unshared_plan(toy_catalog, [query])
+        config = StreamConfig(execution_overhead=1.0, state_factor=0.0)
+        executor = PlanExecutor(plan, config)
+        # two executions at (almost) the same point: the second sees nothing
+        run = executor.run_schedule(
+            {0: [Fraction(999, 1000), Fraction(9991, 10000), Fraction(1)]}
+        )
+        middle = run.records[1]
+        assert middle.work <= 1.0 + 4  # overhead + at most a few stragglers
+
+
+class TestDegeneratePlans:
+    def test_single_row_table(self):
+        from repro.relational.schema import Schema, INT
+        from repro.relational.table import Catalog
+
+        catalog = Catalog()
+        table = catalog.create("one", Schema.of(("x", INT)))
+        table.append((42,))
+        query = (
+            PlanBuilder.scan(catalog, "one")
+            .aggregate([], [agg_sum(col("x"), "s"), agg_count("n")])
+            .as_query(0, "single")
+        )
+        plan = build_unshared_plan(catalog, [query])
+        run = PlanExecutor(plan).run({0: 5})
+        assert run.query_results[0] == {(42, 1): 1}
+
+    def test_empty_table_yields_empty_results(self):
+        from repro.relational.schema import Schema, INT
+        from repro.relational.table import Catalog
+
+        catalog = Catalog()
+        catalog.create("void", Schema.of(("x", INT)))
+        query = (
+            PlanBuilder.scan(catalog, "void")
+            .aggregate([], [agg_count("n")])
+            .as_query(0, "empty")
+        )
+        plan = build_unshared_plan(catalog, [query])
+        run = PlanExecutor(plan).run({0: 3})
+        assert run.query_results[0] == {}
+
+    def test_filter_rejecting_everything(self, toy_catalog):
+        query = (
+            PlanBuilder.scan(toy_catalog, "items")
+            .where(col("price") > 1e12)
+            .aggregate([], [agg_count("n")])
+            .as_query(0, "nothing")
+        )
+        plan = build_unshared_plan(toy_catalog, [query])
+        run = PlanExecutor(plan).run({0: 4})
+        assert run.query_results[0] == {}

@@ -1,0 +1,123 @@
+"""Exactly-solvable cases where the cost model must match the engine.
+
+For degenerate workloads (single group, uniform arrival, no joins) the
+retract/insert churn is exactly computable: a global aggregate at pace k
+emits 1 insert in the first execution and a retract+insert pair in each
+of the remaining k-1 (when its value changes every window), i.e. 2k-1
+records.  The analytic model must reproduce these numbers exactly, not
+just approximately.
+"""
+
+import pytest
+
+from repro.cost.memo import PlanCostModel
+from repro.cost.model import CostConfig
+from repro.engine.calibrate import calibrate_plan
+from repro.engine.executor import PlanExecutor
+from repro.engine.stream import StreamConfig
+from repro.logical.builder import PlanBuilder
+from repro.mqo.merge import build_unshared_plan
+from repro.relational.expressions import agg_count, agg_sum, col
+from repro.relational.schema import Schema, INT, FLOAT
+from repro.relational.table import Catalog
+
+
+def single_group_catalog(n_rows=120):
+    catalog = Catalog()
+    table = catalog.create("s", Schema.of(("k", INT), ("v", FLOAT)))
+    for index in range(n_rows):
+        table.append((0, float(index + 1)))  # strictly growing sum
+    return catalog
+
+
+def compiled_agg(executor, sid=0):
+    unit = executor.compiled[sid]
+    exec_op = unit.root_exec
+    while not hasattr(exec_op, "groups"):
+        exec_op = exec_op.child
+    return exec_op
+
+
+class TestGlobalAggregateChurn:
+    @pytest.mark.parametrize("pace", [1, 2, 5, 10])
+    def test_emission_count_is_2k_minus_1(self, pace):
+        catalog = single_group_catalog()
+        query = (
+            PlanBuilder.scan(catalog, "s")
+            .aggregate([], [agg_sum(col("v"), "total")])
+            .as_query(0, "global_sum")
+        )
+        plan = build_unshared_plan(catalog, [query])
+        executor = PlanExecutor(plan, StreamConfig(state_factor=0.0))
+        run = executor.run({0: pace}, collect_results=False)
+        emitted = sum(record.output_count for record in run.records)
+        assert emitted == 2 * pace - 1
+
+    @pytest.mark.parametrize("pace", [1, 4, 8])
+    def test_model_matches_engine_exactly(self, pace):
+        catalog = single_group_catalog()
+        query = (
+            PlanBuilder.scan(catalog, "s")
+            .aggregate([], [agg_sum(col("v"), "total")])
+            .as_query(0, "global_sum")
+        )
+        plan = build_unshared_plan(catalog, [query])
+        config = StreamConfig(state_factor=0.0)
+        calibrate_plan(plan, config)
+        model = PlanCostModel(plan, CostConfig(state_factor=0.0))
+        estimate = model.evaluate({0: pace})
+        measured = PlanExecutor(plan, config).run({0: pace}, collect_results=False)
+        assert estimate.total_work == pytest.approx(measured.total_work, rel=1e-9)
+        assert estimate.query_final_work[0] == pytest.approx(
+            measured.query_final_work[0], rel=1e-9
+        )
+
+
+class TestPerKeyAggregateChurn:
+    """Every row its own group: no retracts regardless of pace."""
+
+    @pytest.mark.parametrize("pace", [1, 3, 9])
+    def test_unique_groups_emit_once(self, pace):
+        catalog = Catalog()
+        table = catalog.create("u", Schema.of(("k", INT), ("v", FLOAT)))
+        for index in range(90):
+            table.append((index, 1.0))
+        query = (
+            PlanBuilder.scan(catalog, "u")
+            .aggregate(["k"], [agg_count("n")])
+            .as_query(0, "per_key")
+        )
+        plan = build_unshared_plan(catalog, [query])
+        executor = PlanExecutor(plan, StreamConfig(state_factor=0.0))
+        run = executor.run({0: pace}, collect_results=False)
+        emitted = sum(record.output_count for record in run.records)
+        assert emitted == 90  # one insert per group, no churn ever
+
+
+class TestLatencyProxyExactness:
+    def test_final_work_is_last_window_only(self):
+        catalog = single_group_catalog(n_rows=100)
+        query = (
+            PlanBuilder.scan(catalog, "s")
+            .aggregate([], [agg_sum(col("v"), "total")])
+            .as_query(0, "global_sum")
+        )
+        plan = build_unshared_plan(catalog, [query])
+        config = StreamConfig(state_factor=0.0, execution_overhead=0.0)
+        run = PlanExecutor(plan, config).run({0: 4}, collect_results=False)
+        # final execution: scans 25 rows, agg processes 25, emits 2
+        assert run.query_final_work[0] == pytest.approx(25 + 25 + 2)
+
+    def test_total_work_decomposes_per_execution(self):
+        catalog = single_group_catalog(n_rows=100)
+        query = (
+            PlanBuilder.scan(catalog, "s")
+            .aggregate([], [agg_sum(col("v"), "total")])
+            .as_query(0, "global_sum")
+        )
+        plan = build_unshared_plan(catalog, [query])
+        config = StreamConfig(state_factor=0.0, execution_overhead=0.0)
+        run = PlanExecutor(plan, config).run({0: 4}, collect_results=False)
+        # each execution: 25 scanned + 25 aggregated + emissions (1,2,2,2)
+        expected = 4 * 50 + (1 + 2 + 2 + 2)
+        assert run.total_work == pytest.approx(expected)

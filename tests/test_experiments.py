@@ -1,0 +1,113 @@
+"""Smoke tests of the per-figure experiment drivers at tiny scale.
+
+These exercise the same code paths the benchmarks run, shrunk to seconds,
+and assert the structural properties of each driver's output (the shape
+assertions live in the benchmarks, where the scale is meaningful).
+"""
+
+import pytest
+
+from repro.harness import (
+    APPROACHES,
+    default_config,
+    fig9,
+    fig10,
+    fig15,
+    fig16,
+    fig17,
+)
+from repro.harness.experiments import _uniform_sweep
+from repro.workloads.tpch import ALL_QUERY_NAMES
+
+
+TINY = dict(scale=0.12, max_pace=8)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return default_config(max_pace=8)
+
+
+class TestFig10Driver:
+    def test_reports_ratio_below_one(self, tiny_config):
+        result = fig10(scale=0.12, config=tiny_config)
+        assert 0 < result.data["ratio"] < 1.0
+        assert "Shared (MQO)" in result.text()
+
+
+class TestFig9Driver:
+    def test_collects_all_approaches_and_seeds(self, tiny_config):
+        result = fig9(scale=0.12, max_pace=8, seeds=(1, 2), config=tiny_config)
+        totals = result.data["totals"]
+        assert set(totals) == set(APPROACHES)
+        assert all(len(values) == 2 for values in totals.values())
+        assert "Mean s" in result.text()
+
+    def test_missed_summaries_accumulate_queries(self, tiny_config):
+        result = fig9(scale=0.12, max_pace=8, seeds=(1, 2), config=tiny_config)
+        for name in APPROACHES:
+            assert len(result.data["missed"][name].absolute) == 2 * 22
+
+
+class TestUniformSweepDriver:
+    def test_rows_per_level(self, tiny_config):
+        result = _uniform_sweep(
+            ("Q1", "Q6", "Q12"), "mini sweep", 0.12, 8, (1.0, 0.2), tiny_config
+        )
+        rows = result.data["rows"]
+        assert [label for label, _ in rows] == ["rel=1.0", "rel=0.2"]
+        for _, by_approach in rows:
+            assert set(by_approach) == set(APPROACHES)
+            assert all(r.total_seconds > 0 for r in by_approach.values())
+
+
+class TestFig15Driver:
+    def test_memo_column_finishes_and_dnf_marks(self, tiny_config):
+        result = fig15(scale=0.1, max_paces=(4, 8), level=0.2,
+                       dnf_seconds=30.0)
+        rows = result.data["rows"]
+        assert len(rows) == 2
+        for row in rows:
+            assert isinstance(row[1], float)  # with memo always finishes
+        assert "DNF" in result.text() or all(
+            isinstance(row[2], float) for row in rows
+        )
+
+
+class TestFig16Driver:
+    def test_timings_recorded_per_count(self, tiny_config):
+        result = fig16(scale=0.1, max_pace=12, query_counts=(2, 3),
+                       config=tiny_config)
+        rows = result.data["rows"]
+        assert len(rows) == 2
+        for row in rows:
+            assert row[1] >= 0 and row[2] >= 0
+
+
+class TestFig17Driver:
+    def test_all_three_pairs_present(self, tiny_config):
+        result = fig17(scale=0.12, max_pace=8, levels=(1.0, 0.2),
+                       config=tiny_config)
+        assert set(result.data["pairs"]) == {"PairA", "PairB", "PairC"}
+        for rows in result.data["pairs"].values():
+            assert len(rows) == 2
+
+
+class TestWorkloadNamesCoverage:
+    def test_all_query_names_match_paper(self):
+        assert len(ALL_QUERY_NAMES) == 22
+        assert ALL_QUERY_NAMES[0] == "Q1" and ALL_QUERY_NAMES[-1] == "Q22"
+
+
+class TestTwoPhaseDriver:
+    def test_two_phase_rows_and_shapes(self, tiny_config):
+        from repro.harness import two_phase_baseline
+
+        result = two_phase_baseline(
+            scale=0.12, max_pace=8, level=0.2, config=tiny_config,
+            first_points=(0.5,),
+        )
+        rows = result.data["rows"]
+        assert len(rows) == 2  # one tuning point + iShare
+        assert rows[-1][0] == "iShare"
+        assert result.data["best_two_phase_max_miss"] >= 0

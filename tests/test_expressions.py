@@ -1,0 +1,163 @@
+"""Tests for the expression language: building, compiling, signatures."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    AggSpec,
+    And,
+    BinaryOp,
+    Col,
+    Comparison,
+    Const,
+    Contains,
+    InList,
+    Not,
+    Or,
+    StartsWith,
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+    col,
+    contains,
+    lift,
+    starts_with,
+)
+from repro.relational.schema import Schema
+
+SCHEMA = Schema.of("a", "b", "name")
+ROW = (10, 4, "widget")
+
+
+def evaluate(expr, row=ROW, schema=SCHEMA):
+    return expr.compile(schema)(row)
+
+
+class TestBuilding:
+    def test_col_requires_name(self):
+        with pytest.raises(ExpressionError):
+            Col("")
+
+    def test_lift_wraps_plain_values(self):
+        assert isinstance(lift(5), Const)
+        assert lift(col("a")) is not None
+
+    def test_arithmetic_operators(self):
+        assert evaluate(col("a") + col("b")) == 14
+        assert evaluate(col("a") - 1) == 9
+        assert evaluate(2 * col("b")) == 8
+        assert evaluate(col("a") / col("b")) == 2.5
+        assert evaluate(col("a") // 3) == 3
+
+    def test_reflected_operators(self):
+        assert evaluate(100 - col("a")) == 90
+        assert evaluate(100 / col("a")) == 10
+        assert evaluate(21 // col("a")) == 2
+
+    def test_comparisons(self):
+        assert evaluate(col("a") == 10) is True
+        assert evaluate(col("a") != 10) is False
+        assert evaluate(col("a") < 11) is True
+        assert evaluate(col("a") <= 10) is True
+        assert evaluate(col("a") > 10) is False
+        assert evaluate(col("a") >= 10) is True
+
+    def test_boolean_connectives(self):
+        expr = (col("a") > 5) & (col("b") < 5)
+        assert evaluate(expr) is True
+        expr = (col("a") > 50) | (col("b") < 5)
+        assert evaluate(expr) is True
+        assert evaluate(~(col("a") > 5)) is False
+
+    def test_isin_and_between(self):
+        assert evaluate(col("a").isin([1, 10])) is True
+        assert evaluate(col("a").isin([1, 2])) is False
+        assert evaluate(col("a").between(10, 12)) is True
+        assert evaluate(col("a").between(11, 12)) is False
+
+    def test_string_predicates(self):
+        assert evaluate(starts_with(col("name"), "wid")) is True
+        assert evaluate(starts_with(col("name"), "x")) is False
+        assert evaluate(contains(col("name"), "dge")) is True
+        assert evaluate(contains(col("name"), "zzz")) is False
+
+    def test_bool_arithmetic_indicator(self):
+        # bool * value is the engine's indicator idiom (Q8/Q12/Q14)
+        expr = (col("name") == "widget") * col("a")
+        assert evaluate(expr) == 10
+        expr = (col("name") == "nope") * col("a")
+        assert evaluate(expr) == 0
+
+
+class TestIntrospection:
+    def test_columns_collects_all_refs(self):
+        expr = (col("a") + col("b") > 3) & starts_with(col("name"), "w")
+        assert expr.columns() == {"a", "b", "name"}
+
+    def test_const_has_no_columns(self):
+        assert Const(4).columns() == set()
+
+    def test_signatures_distinguish_values(self):
+        assert (col("a") > 1).signature() != (col("a") > 2).signature()
+        assert (col("a") > 1).signature() == (col("a") > 1).signature()
+
+    def test_signatures_distinguish_operators(self):
+        assert (col("a") + 1).signature() != (col("a") - 1).signature()
+
+    def test_in_list_signature_is_order_insensitive(self):
+        a = col("a").isin([1, 2]).signature()
+        b = col("a").isin([2, 1]).signature()
+        assert a == b
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            BinaryOp("%", col("a"), Const(2))
+        with pytest.raises(ExpressionError):
+            Comparison("~=", col("a"), Const(2))
+
+
+class TestCompilationBinding:
+    def test_compile_binds_by_position(self):
+        schema = Schema.of("x", "y")
+        fn = (col("y") - col("x")).compile(schema)
+        assert fn((3, 10)) == 7
+
+    def test_compile_missing_column_raises(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            col("zz").compile(SCHEMA)
+
+    def test_const_closure_is_stable(self):
+        fn = Const(42).compile(SCHEMA)
+        assert fn(ROW) == 42
+        assert fn(None) == 42  # row is ignored entirely
+
+
+class TestAggSpecs:
+    def test_factories(self):
+        assert agg_sum(col("a"), "s").func == "sum"
+        assert agg_avg(col("a"), "s").func == "avg"
+        assert agg_min(col("a"), "s").func == "min"
+        assert agg_max(col("a"), "s").func == "max"
+        assert agg_count("n").func == "count"
+
+    def test_count_defaults_to_const_input(self):
+        spec = agg_count("n")
+        assert isinstance(spec.expr, Const)
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(ExpressionError):
+            AggSpec("median", col("a"), "m")
+
+    def test_sum_requires_expression(self):
+        with pytest.raises(ExpressionError):
+            AggSpec("sum", None, "s")
+
+    def test_signature_includes_alias_and_expr(self):
+        a = agg_sum(col("a"), "x").signature()
+        b = agg_sum(col("a"), "y").signature()
+        c = agg_sum(col("b"), "x").signature()
+        assert len({a, b, c}) == 3

@@ -1,0 +1,75 @@
+"""Tests for the measured-execution feedback calibration of the cost model."""
+
+import pytest
+
+from repro.cost.memo import PlanCostModel
+from repro.cost.model import CostConfig
+from repro.engine.calibrate import calibrate_plan
+from repro.engine.executor import PlanExecutor
+from repro.engine.stream import StreamConfig
+from repro.mqo.merge import MQOOptimizer
+
+from .util import make_toy_catalog, toy_query_region, toy_query_total
+
+
+@pytest.fixture(scope="module")
+def setup():
+    catalog = make_toy_catalog(seed=41)
+    queries = [toy_query_total(catalog, 0), toy_query_region(catalog, 1)]
+    plan = MQOOptimizer(catalog).build_shared_plan(queries)
+    config = StreamConfig()
+    calibrate_plan(plan, config)
+    model = PlanCostModel(plan, CostConfig(state_factor=config.state_factor))
+    executor = PlanExecutor(plan, config)
+    return plan, model, executor
+
+
+class TestFeedback:
+    def test_feedback_makes_estimate_exact_at_observed_config(self, setup):
+        plan, model, executor = setup
+        paces = {s.sid: 8 for s in plan.subplans}
+        measured = executor.run(paces, collect_results=False)
+        model.apply_feedback(measured, paces)
+        corrected = model.evaluate(paces)
+        assert corrected.total_work == pytest.approx(measured.total_work, rel=1e-6)
+        for qid, final in measured.query_final_work.items():
+            assert corrected.query_final_work[qid] == pytest.approx(final, rel=1e-6)
+
+    def test_feedback_improves_nearby_configs(self, setup):
+        plan, model, executor = setup
+        observed = {s.sid: 8 for s in plan.subplans}
+        nearby = {s.sid: 10 for s in plan.subplans}
+        measured_nearby = executor.run(nearby, collect_results=False)
+        model.apply_feedback(None, None)
+        raw_error = abs(
+            model.evaluate(nearby).total_work - measured_nearby.total_work
+        )
+        model.apply_feedback(executor.run(observed, collect_results=False), observed)
+        corrected_error = abs(
+            model.evaluate(nearby).total_work - measured_nearby.total_work
+        )
+        assert corrected_error <= raw_error * 1.5  # never much worse nearby
+
+    def test_clearing_feedback_restores_raw_estimates(self, setup):
+        plan, model, executor = setup
+        paces = {s.sid: 4 for s in plan.subplans}
+        model.apply_feedback(None, None)
+        raw = model.evaluate(paces).total_work
+        measured = executor.run(paces, collect_results=False)
+        model.apply_feedback(measured, paces)
+        assert model.evaluate(paces).total_work != pytest.approx(raw, rel=1e-9) or (
+            raw == pytest.approx(measured.total_work)
+        )
+        model.apply_feedback(None, None)
+        assert model.evaluate(paces).total_work == pytest.approx(raw)
+
+    def test_feedback_returns_factors(self, setup):
+        plan, model, executor = setup
+        paces = {s.sid: 2 for s in plan.subplans}
+        measured = executor.run(paces, collect_results=False)
+        factors = model.apply_feedback(measured, paces)
+        assert set(factors) == {s.sid for s in plan.subplans}
+        for total_factor, final_factor in factors.values():
+            assert 0.2 < total_factor < 5
+            assert 0.2 < final_factor < 5
+        model.apply_feedback(None, None)

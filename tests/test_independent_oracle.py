@@ -1,0 +1,141 @@
+"""Independent oracles: the engine vs hand-rolled Python computations.
+
+Everything else in the suite checks the engine against itself (batch vs
+incremental, shared vs unshared).  These tests compute expected results
+with plain dictionaries and loops -- no engine code at all -- so a bug
+shared by every engine path would still be caught.
+"""
+
+import pytest
+
+from repro.engine.executor import PlanExecutor
+from repro.mqo.merge import build_unshared_plan
+from repro.sqlparser import parse_query
+from repro.workloads.tpch import build_workload, generate_catalog
+from repro.workloads.tpch.schema import date_of
+
+from .util import batch_reference
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(scale=0.2, seed=13)
+
+
+def rows_of(catalog, name):
+    table = catalog.get(name)
+    names = table.schema.names()
+    return [dict(zip(names, row)) for row in table.rows]
+
+
+class TestQ1Oracle:
+    def test_q1_matches_manual_computation(self, catalog):
+        cutoff = date_of(1998, 9, 2)
+        expected = {}
+        for row in rows_of(catalog, "lineitem"):
+            if row["l_shipdate"] > cutoff:
+                continue
+            key = (row["l_returnflag"], row["l_linestatus"])
+            bucket = expected.setdefault(
+                key, {"qty": 0.0, "base": 0.0, "disc": 0.0, "count": 0}
+            )
+            bucket["qty"] += row["l_quantity"]
+            bucket["base"] += row["l_extendedprice"]
+            bucket["disc"] += row["l_extendedprice"] * (1 - row["l_discount"])
+            bucket["count"] += 1
+
+        queries = build_workload(catalog, ("Q1",))
+        result = batch_reference(catalog, queries)[0]
+        assert len(result) == len(expected)
+        for row in result:
+            flag, status, sum_qty, base, disc, avg_qty, count = row
+            bucket = expected[(flag, status)]
+            assert sum_qty == pytest.approx(bucket["qty"])
+            assert base == pytest.approx(bucket["base"])
+            assert disc == pytest.approx(bucket["disc"])
+            assert avg_qty == pytest.approx(bucket["qty"] / bucket["count"])
+            assert count == bucket["count"]
+
+
+class TestQ6Oracle:
+    def test_q6_matches_manual_computation(self, catalog):
+        lo, hi = date_of(1994, 1, 1), date_of(1995, 1, 1)
+        expected = sum(
+            row["l_extendedprice"] * row["l_discount"]
+            for row in rows_of(catalog, "lineitem")
+            if lo <= row["l_shipdate"] < hi
+            and 0.05 <= row["l_discount"] <= 0.07
+            and row["l_quantity"] < 24
+        )
+        queries = build_workload(catalog, ("Q6",))
+        result = batch_reference(catalog, queries)[0]
+        if expected == 0:
+            assert result == {}
+        else:
+            ((revenue,),) = [row for row in result]
+            assert revenue == pytest.approx(expected)
+
+
+class TestJoinOracle:
+    def test_brand_totals_match_manual_join(self, catalog):
+        brands = {
+            row["p_partkey"]: row["p_brand"] for row in rows_of(catalog, "part")
+        }
+        expected = {}
+        for row in rows_of(catalog, "lineitem"):
+            brand = brands[row["l_partkey"]]
+            expected[brand] = expected.get(brand, 0.0) + row["l_quantity"]
+
+        query = parse_query(catalog, """
+            SELECT p_brand, SUM(l_quantity) AS total
+            FROM lineitem JOIN part ON l_partkey = p_partkey
+            GROUP BY p_brand
+        """, 0, "brand_totals")
+        plan = build_unshared_plan(catalog, [query])
+        result = PlanExecutor(plan).run({0: 1}).query_results[0]
+        assert len(result) == len(expected)
+        for (brand, total), count in result.items():
+            assert count == 1
+            assert total == pytest.approx(expected[brand])
+
+    def test_incremental_pace_agrees_with_oracle(self, catalog):
+        suppliers = {
+            row["s_suppkey"]: row["s_nationkey"]
+            for row in rows_of(catalog, "supplier")
+        }
+        expected = {}
+        for row in rows_of(catalog, "lineitem"):
+            nation = suppliers[row["l_suppkey"]]
+            expected[nation] = expected.get(nation, 0) + 1
+
+        query = parse_query(catalog, """
+            SELECT s_nationkey, COUNT(*) AS n
+            FROM lineitem JOIN supplier ON l_suppkey = s_suppkey
+            GROUP BY s_nationkey
+        """, 0, "nation_counts")
+        plan = build_unshared_plan(catalog, [query])
+        result = PlanExecutor(plan).run({0: 7}).query_results[0]
+        assert {key: n for (key, n), _ in result.items()} == expected
+
+
+class TestTwoLevelOracle:
+    def test_max_of_sums_matches_manual(self, catalog):
+        sums = {}
+        for row in rows_of(catalog, "lineitem"):
+            sums[row["l_suppkey"]] = (
+                sums.get(row["l_suppkey"], 0.0) + row["l_quantity"]
+            )
+        expected = max(sums.values())
+
+        query = parse_query(catalog, """
+            SELECT MAX(total) AS m
+            FROM (
+                SELECT l_suppkey, SUM(l_quantity) AS total
+                FROM lineitem GROUP BY l_suppkey
+            ) AS sums
+        """, 0, "max_of_sums")
+        plan = build_unshared_plan(catalog, [query])
+        for pace in (1, 6):
+            result = PlanExecutor(plan).run({s.sid: pace for s in plan.subplans})
+            ((value,),) = list(result.query_results[0])
+            assert value == pytest.approx(expected)

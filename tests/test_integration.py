@@ -1,0 +1,174 @@
+"""Cross-cutting integration tests.
+
+The master invariant: for any plan shape (unshared / blocking-cut /
+shared / decomposed) and any legal pace configuration, every query's net
+results equal the batch reference.  On top of that, directional
+behaviours the paper relies on are checked end to end.
+"""
+
+import random
+
+import pytest
+
+from repro.core.optimizer import (
+    OptimizerConfig,
+    optimize_ishare,
+    optimize_noshare_uniform,
+    optimize_share_uniform,
+    reference_absolute_constraints,
+)
+from repro.engine.executor import PlanExecutor
+from repro.engine.stream import StreamConfig
+from repro.mqo.merge import (
+    MQOOptimizer,
+    build_blocking_cut_plan,
+    build_unshared_plan,
+)
+from repro.workloads.tpch import build_pair, build_workload, generate_catalog
+
+from .util import assert_plan_correct, batch_reference
+
+
+@pytest.fixture(scope="module")
+def tpch_setup(tpch_tiny):
+    names = ("Q1", "Q3", "Q6", "Q12", "Q15", "Q18")
+    queries = build_workload(tpch_tiny, names)
+    reference = batch_reference(tpch_tiny, queries)
+    return tpch_tiny, queries, reference
+
+
+PLAN_BUILDERS = {
+    "unshared": build_unshared_plan,
+    "blocking": build_blocking_cut_plan,
+    "shared": lambda catalog, queries: MQOOptimizer(catalog).build_shared_plan(queries),
+}
+
+
+class TestCrossPlanEquivalence:
+    @pytest.mark.parametrize("shape", sorted(PLAN_BUILDERS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_pace_configurations(self, tpch_setup, shape, seed):
+        catalog, queries, reference = tpch_setup
+        plan = PLAN_BUILDERS[shape](catalog, queries)
+        rng = random.Random(seed)
+        paces = {}
+        for subplan in plan.topological_order():
+            upper = min(
+                (paces[c.sid] for c in subplan.child_subplans()), default=12
+            )
+            paces[subplan.sid] = rng.randint(1, max(1, upper))
+        assert_plan_correct(plan, queries, reference, paces=paces)
+
+    def test_all_shapes_agree_on_total_results(self, tpch_setup):
+        catalog, queries, reference = tpch_setup
+        for shape, builder in PLAN_BUILDERS.items():
+            plan = builder(catalog, queries)
+            assert_plan_correct(plan, queries, reference)
+
+
+class TestDirectionalBehaviours:
+    def test_sharing_reduces_batch_work(self, tpch_setup):
+        catalog, queries, _ = tpch_setup
+        unshared = build_unshared_plan(catalog, queries)
+        shared = MQOOptimizer(catalog).build_shared_plan(queries)
+        u_run = PlanExecutor(unshared).run(
+            {s.sid: 1 for s in unshared.subplans}, collect_results=False
+        )
+        s_run = PlanExecutor(shared).run(
+            {s.sid: 1 for s in shared.subplans}, collect_results=False
+        )
+        assert s_run.total_work < u_run.total_work
+
+    def test_eagerness_monotone_total_work(self, tpch_setup):
+        catalog, queries, _ = tpch_setup
+        plan = build_unshared_plan(catalog, queries)
+        executor = PlanExecutor(plan)
+        totals = [
+            executor.run({s.sid: pace for s in plan.subplans},
+                         collect_results=False).total_work
+            for pace in (1, 4, 16, 48)
+        ]
+        assert totals == sorted(totals)
+
+    def test_q15_final_work_resists_eagerness(self, tpch_tiny):
+        """The non-incrementable query: eagerness barely reduces latency."""
+        queries = build_workload(tpch_tiny, ("Q15",))
+        plan = build_unshared_plan(tpch_tiny, queries)
+        executor = PlanExecutor(plan)
+        lazy = executor.run({0: 1}, collect_results=False)
+        eager = executor.run({0: 48}, collect_results=False)
+        incremental_ratio = eager.query_final_work[0] / lazy.query_final_work[0]
+        # compare with a fully incrementable query: Q6
+        q6 = build_workload(tpch_tiny, ("Q6",))
+        q6_plan = build_unshared_plan(tpch_tiny, q6)
+        q6_exec = PlanExecutor(q6_plan)
+        q6_lazy = q6_exec.run({0: 1}, collect_results=False)
+        q6_eager = q6_exec.run({0: 48}, collect_results=False)
+        q6_ratio = q6_eager.query_final_work[0] / q6_lazy.query_final_work[0]
+        assert q6_ratio < incremental_ratio
+
+    def test_paper_pair_end_to_end(self):
+        catalog = generate_catalog(scale=0.25, seed=3)
+        queries = build_pair(catalog)
+        reference = batch_reference(catalog, queries)
+        config = OptimizerConfig(max_pace=24, stream_config=StreamConfig())
+        relative = {0: 1.0, 1: 0.2}
+        constraints = reference_absolute_constraints(
+            catalog, queries, relative, config
+        )
+        for optimize in (optimize_noshare_uniform, optimize_share_uniform,
+                         optimize_ishare):
+            result = optimize(catalog, queries, relative, config,
+                              absolute_constraints=constraints)
+            assert_plan_correct(
+                result.plan, queries, reference, paces=result.pace_config,
+                stream_config=config.stream_config,
+            )
+
+    def test_ishare_unshares_when_sharing_hurts(self):
+        """A selective eager query + an unselective lazy one: decompose."""
+        from repro.logical.builder import PlanBuilder
+        from repro.relational.expressions import agg_sum, col
+        from repro.relational.schema import Schema, INT, FLOAT
+        from repro.relational.table import Catalog
+
+        rng = random.Random(5)
+        catalog = Catalog()
+        stream = catalog.create(
+            "s", Schema.of(("k", INT), ("v", FLOAT), ("w", INT))
+        )
+        for _ in range(4000):
+            stream.append((rng.randrange(300), float(rng.randint(1, 9)),
+                           rng.randrange(1000)))
+
+        def make(qid, name, lo, hi):
+            return (
+                PlanBuilder.scan(catalog, "s")
+                .where((col("w") >= lo) & (col("w") < hi))
+                .aggregate(["k"], [agg_sum(col("v"), "t")])
+                .aggregate([], [agg_sum(col("t"), "g")])
+                .as_query(qid, name)
+            )
+
+        queries = [make(0, "broad", 0, 990), make(1, "narrow", 0, 60)]
+        config = OptimizerConfig(max_pace=32, stream_config=StreamConfig())
+        relative = {0: 1.0, 1: 0.1}
+        constraints = reference_absolute_constraints(
+            catalog, queries, relative, config
+        )
+        share = optimize_share_uniform(catalog, queries, relative, config,
+                                       absolute_constraints=constraints)
+        ishare = optimize_ishare(catalog, queries, relative, config,
+                                 absolute_constraints=constraints)
+        share_run = PlanExecutor(share.plan, config.stream_config).run(
+            share.pace_config, collect_results=False
+        )
+        ishare_run = PlanExecutor(ishare.plan, config.stream_config).run(
+            ishare.pace_config, collect_results=False
+        )
+        assert ishare_run.total_work < share_run.total_work
+        reference = batch_reference(catalog, queries)
+        assert_plan_correct(
+            ishare.plan, queries, reference, paces=ishare.pace_config,
+            stream_config=config.stream_config,
+        )

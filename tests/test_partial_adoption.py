@@ -1,0 +1,102 @@
+"""Tests that partial decomposition is actually adopted when it pays.
+
+Builds the Q15-shaped scenario of section 4.3: two queries share a
+pipeline whose cheap top (a MAX aggregate) wants to be lazy for one query
+and eager for the other, while the expensive bottom (the grouped SUM)
+should stay shared.  A full unshare duplicates the bottom; the partial
+cut keeps it shared and splits only the top.
+"""
+
+import random
+
+import pytest
+
+from repro.core.decompose import decompose_full_plan
+from repro.core.greedy import PaceSearch
+from repro.cost.memo import PlanCostModel
+from repro.cost.model import CostConfig
+from repro.engine.calibrate import calibrate_plan
+from repro.engine.stream import StreamConfig
+from repro.logical.builder import PlanBuilder
+from repro.mqo.merge import MQOOptimizer
+from repro.relational.expressions import agg_max, agg_sum, col
+from repro.relational.schema import Schema, INT, FLOAT
+from repro.relational.table import Catalog
+
+from .util import assert_plan_correct, batch_reference
+
+
+@pytest.fixture(scope="module")
+def q15_pair():
+    rng = random.Random(9)
+    catalog = Catalog()
+    stream = catalog.create("s", Schema.of(("k", INT), ("v", FLOAT), ("w", INT)))
+    for _ in range(3000):
+        stream.append((rng.randrange(200), float(rng.randint(1, 9)),
+                       rng.randrange(100)))
+
+    def q15_like(qid, name, hi):
+        return (
+            PlanBuilder.scan(catalog, "s")
+            .where(col("w") < hi)
+            .aggregate(["k"], [agg_sum(col("v"), "t")])
+            .aggregate([], [agg_max(col("t"), "m")])
+            .as_query(qid, name)
+        )
+
+    queries = [q15_like(0, "lazy_max", 95), q15_like(1, "eager_max", 90)]
+    plan = MQOOptimizer(catalog).build_shared_plan(queries)
+    config = StreamConfig()
+    calibrate_plan(plan, config)
+    model = PlanCostModel(plan, CostConfig(state_factor=config.state_factor))
+    constraints = model.absolute_constraints({0: 1.0, 1: 0.1})
+    found = PaceSearch(model, constraints, max_pace=40).find()
+    return catalog, queries, plan, config, model, constraints, found
+
+
+class TestPartialAdoption:
+    def test_decomposition_runs_and_improves_or_keeps(self, q15_pair):
+        catalog, queries, plan, config, model, constraints, found = q15_pair
+        outcome = decompose_full_plan(
+            plan, found.pace_config, constraints, 40,
+            cost_config=CostConfig(state_factor=config.state_factor),
+            cost_model=model,
+        )
+        outcome.plan.validate()
+        # feasibility-first acceptance: never worse on both axes
+        from repro.core.decompose import total_missed_final_work
+
+        assert total_missed_final_work(
+            outcome.evaluation, constraints
+        ) <= total_missed_final_work(found.evaluation, constraints) + 1e-6
+
+    def test_decomposed_plan_correct_under_found_paces(self, q15_pair):
+        catalog, queries, plan, config, model, constraints, found = q15_pair
+        outcome = decompose_full_plan(
+            plan, found.pace_config, constraints, 40,
+            cost_config=CostConfig(state_factor=config.state_factor),
+        )
+        reference = batch_reference(catalog, queries)
+        assert_plan_correct(
+            outcome.plan, queries, reference, paces=outcome.pace_config,
+            stream_config=config,
+        )
+
+    def test_partial_candidates_exist_for_shared_subplan(self, q15_pair):
+        from repro.core.partial import partial_cut_candidates
+
+        catalog, queries, plan, *_ = q15_pair
+        shared = plan.shared_subplans()[0]
+        candidates = list(partial_cut_candidates(plan, shared.sid))
+        assert candidates
+        # at least one candidate keeps the grouped SUM in the bottom
+        found_sum_bottom = False
+        for cut_plan, top_sid, bottom_sids in candidates:
+            for bottom_sid in bottom_sids:
+                bottom = cut_plan.subplan_by_id(bottom_sid)
+                if any(
+                    node.kind == "aggregate" and node.group_by
+                    for node in bottom.root.walk()
+                ):
+                    found_sum_bottom = True
+        assert found_sum_bottom

@@ -1,0 +1,136 @@
+"""Focused tests for plan regeneration mechanics (paper section 4.2)."""
+
+import pytest
+
+from repro.core.decompose import total_missed_final_work, _improves
+from repro.core.regenerate import apply_split
+from repro.cost.memo import CostEvaluation
+from repro.mqo.merge import MQOOptimizer
+from repro.relational import bitvec
+
+from .util import (
+    assert_plan_correct,
+    batch_reference,
+    make_toy_catalog,
+    toy_query_region,
+    toy_query_total,
+)
+
+
+@pytest.fixture(scope="module")
+def three_query_plan():
+    catalog = make_toy_catalog(seed=61)
+    queries = [
+        toy_query_total(catalog, 0),
+        toy_query_region(catalog, 1, region="EU"),
+        toy_query_region(catalog, 2, region="US"),
+    ]
+    queries[2].name = "toy_region_us2"
+    plan = MQOOptimizer(catalog).build_shared_plan(queries)
+    return catalog, queries, plan
+
+
+def _widest_shared(plan):
+    return max(plan.shared_subplans(), key=lambda s: bitvec.popcount(s.query_mask))
+
+
+class TestApplySplitMechanics:
+    def test_figure8_parent_alignment(self, three_query_plan):
+        """A parent spanning two partitions is split to align (Figure 8)."""
+        catalog, queries, plan = three_query_plan
+        shared = _widest_shared(plan)
+        ids = shared.query_ids()
+        assert len(ids) == 3
+        # split so that queries 1 and 2 separate; their shared parent
+        # aggregate (identical agg for both region queries) must be split
+        paces = {s.sid: 4 for s in plan.subplans}
+        parts = [(ids[0], ids[1]), (ids[2],)]
+        new_plan, initial = apply_split(plan, paces, shared.sid, parts)
+        new_plan.validate()
+        for subplan in new_plan.subplans:
+            for child in subplan.child_subplans():
+                assert bitvec.subsumes(child.query_mask, subplan.query_mask)
+
+    def test_single_consumer_pieces_get_merged(self, three_query_plan):
+        """After a full singleton split, per-query chains collapse."""
+        catalog, queries, plan = three_query_plan
+        shared = _widest_shared(plan)
+        paces = {s.sid: 4 for s in plan.subplans}
+        parts = [(qid,) for qid in shared.query_ids()]
+        new_plan, initial = apply_split(plan, paces, shared.sid, parts)
+        # merged subplans absorb their single-consumer children: every
+        # remaining subplan is a query root or has >= 2 consumers
+        for subplan in new_plan.subplans:
+            is_root = any(r is subplan for r in new_plan.query_roots.values())
+            if not is_root:
+                assert new_plan.consumer_count(subplan) >= 2
+
+    def test_merge_keeps_larger_pace(self, three_query_plan):
+        catalog, queries, plan = three_query_plan
+        shared = _widest_shared(plan)
+        paces = {s.sid: 1 for s in plan.subplans}
+        paces[shared.sid] = 9  # pieces inherit 9; parents at 1: merged -> 9
+        parts = [(qid,) for qid in shared.query_ids()]
+        new_plan, initial = apply_split(plan, paces, shared.sid, parts)
+        new_sids = {s.sid for s in new_plan.subplans} - set(paces)
+        assert new_sids
+        assert all(initial[sid] >= 9 for sid in new_sids)
+
+    def test_split_plan_runs_at_inherited_paces(self, three_query_plan):
+        catalog, queries, plan = three_query_plan
+        shared = _widest_shared(plan)
+        paces = {s.sid: 3 for s in plan.subplans}
+        parts = [(qid,) for qid in shared.query_ids()]
+        new_plan, initial = apply_split(plan, paces, shared.sid, parts)
+        # repair any parent>child violations introduced by inheritance
+        for subplan in reversed(new_plan.topological_order()):
+            for child in subplan.child_subplans():
+                if initial[child.sid] < initial[subplan.sid]:
+                    initial[child.sid] = initial[subplan.sid]
+        reference = batch_reference(catalog, queries)
+        assert_plan_correct(new_plan, queries, reference, paces=initial)
+
+    def test_two_way_split_execution_correct(self, three_query_plan):
+        catalog, queries, plan = three_query_plan
+        shared = _widest_shared(plan)
+        ids = shared.query_ids()
+        paces = {s.sid: 2 for s in plan.subplans}
+        parts = [(ids[0],), (ids[1], ids[2])]
+        new_plan, initial = apply_split(plan, paces, shared.sid, parts)
+        reference = batch_reference(catalog, queries)
+        assert_plan_correct(
+            new_plan, queries, reference,
+            paces={s.sid: 1 for s in new_plan.subplans},
+        )
+
+
+def _eval(total, finals):
+    evaluation = CostEvaluation()
+    evaluation.total_work = total
+    evaluation.query_final_work = dict(finals)
+    return evaluation
+
+
+class TestFeasibilityFirstAcceptance:
+    CONSTRAINTS = {0: 10.0, 1: 10.0}
+
+    def test_missed_work_sums_violations(self):
+        evaluation = _eval(100, {0: 15.0, 1: 5.0})
+        assert total_missed_final_work(evaluation, self.CONSTRAINTS) == 5.0
+
+    def test_less_missed_wins_despite_more_total(self):
+        old = _eval(100, {0: 20.0, 1: 5.0})
+        new = _eval(150, {0: 12.0, 1: 5.0})
+        assert _improves(new, old, self.CONSTRAINTS)
+
+    def test_more_missed_loses_despite_less_total(self):
+        old = _eval(100, {0: 10.0, 1: 5.0})
+        new = _eval(50, {0: 20.0, 1: 5.0})
+        assert not _improves(new, old, self.CONSTRAINTS)
+
+    def test_equal_feasibility_compares_total(self):
+        old = _eval(100, {0: 5.0, 1: 5.0})
+        better = _eval(90, {0: 8.0, 1: 5.0})
+        worse = _eval(110, {0: 5.0, 1: 5.0})
+        assert _improves(better, old, self.CONSTRAINTS)
+        assert not _improves(worse, old, self.CONSTRAINTS)

@@ -1,0 +1,137 @@
+"""Tests for schemas, columns, tables and the catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, Schema, INT, FLOAT, STR, DATE
+from repro.relational.table import Catalog, Table
+
+
+class TestColumn:
+    def test_basic(self):
+        column = Column("price", FLOAT)
+        assert column.name == "price"
+        assert column.type == FLOAT
+
+    def test_default_type_is_float(self):
+        assert Column("x").type == FLOAT
+
+    def test_renamed_keeps_type(self):
+        renamed = Column("a", INT).renamed("b")
+        assert renamed.name == "b"
+        assert renamed.type == INT
+
+    def test_equality_and_hash(self):
+        assert Column("a", INT) == Column("a", INT)
+        assert Column("a", INT) != Column("a", STR)
+        assert hash(Column("a", INT)) == hash(Column("a", INT))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            Column("a", "blob")
+
+
+class TestSchema:
+    def test_of_accepts_mixed_specs(self):
+        schema = Schema.of(("id", INT), "value", Column("day", DATE))
+        assert schema.names() == ("id", "value", "day")
+        assert schema.types() == (INT, FLOAT, DATE)
+
+    def test_index_of(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.index_of("b") == 1
+
+    def test_index_of_missing_raises(self):
+        schema = Schema.of("a")
+        with pytest.raises(SchemaError, match="no column 'zz'"):
+            schema.index_of("zz")
+
+    def test_has(self):
+        schema = Schema.of("a")
+        assert schema.has("a")
+        assert not schema.has("b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of("a", "a")
+
+    def test_concat(self):
+        left = Schema.of("a", "b")
+        right = Schema.of("c")
+        assert left.concat(right).names() == ("a", "b", "c")
+
+    def test_concat_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").concat(Schema.of("a"))
+
+    def test_project_reorders(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.project(["c", "a"]).names() == ("c", "a")
+
+    def test_prefixed(self):
+        schema = Schema.of(("id", INT)).prefixed("t_")
+        assert schema.names() == ("t_id",)
+        assert schema.column("t_id").type == INT
+
+    def test_row_dict(self):
+        schema = Schema.of("a", "b")
+        assert schema.row_dict((1, 2)) == {"a": 1, "b": 2}
+
+    def test_len_iter_eq(self):
+        schema = Schema.of("a", "b")
+        assert len(schema) == 2
+        assert [c.name for c in schema] == ["a", "b"]
+        assert schema == Schema.of("a", "b")
+        assert schema != Schema.of("a", ("b", INT))
+
+
+class TestTable:
+    def test_append_and_len(self):
+        table = Table("t", Schema.of("a", "b"))
+        table.append((1, 2))
+        table.extend([(3, 4), (5, 6)])
+        assert len(table) == 3
+        assert list(table)[0] == (1, 2)
+
+    def test_append_rejects_wrong_arity(self):
+        table = Table("t", Schema.of("a"))
+        with pytest.raises(SchemaError, match="arity"):
+            table.append((1, 2))
+
+    def test_rows_are_tuples(self):
+        table = Table("t", Schema.of("a", "b"))
+        table.append([1, 2])
+        assert table.rows[0] == (1, 2)
+        assert isinstance(table.rows[0], tuple)
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        table = catalog.create("t", Schema.of("a"))
+        assert catalog.get("t") is table
+        assert "t" in catalog
+        assert catalog.names() == ["t"]
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create("t", Schema.of("a"))
+        with pytest.raises(SchemaError, match="already registered"):
+            catalog.create("t", Schema.of("b"))
+
+    def test_get_missing_lists_available(self):
+        catalog = Catalog()
+        catalog.create("known", Schema.of("a"))
+        with pytest.raises(SchemaError, match="known"):
+            catalog.get("unknown")
+
+    def test_iteration_and_len(self):
+        catalog = Catalog()
+        catalog.create("a", Schema.of("x"))
+        catalog.create("b", Schema.of("y"))
+        assert len(catalog) == 2
+        assert {t.name for t in catalog} == {"a", "b"}

@@ -1,0 +1,85 @@
+"""SQL-frontend versions of TPC-H queries must match the builder versions."""
+
+import pytest
+
+from repro.sqlparser import parse_query
+from repro.workloads.tpch import build_workload, generate_catalog
+from repro.workloads.tpch.schema import date_of
+
+from .util import batch_reference
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(scale=0.2, seed=13)
+
+
+Q1_SQL = """
+    SELECT l_returnflag, l_linestatus,
+           SUM(l_quantity) AS sum_qty,
+           SUM(l_extendedprice) AS sum_base_price,
+           SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+           AVG(l_quantity) AS avg_qty,
+           COUNT(*) AS count_order
+    FROM lineitem
+    WHERE l_shipdate <= {cutoff}
+    GROUP BY l_returnflag, l_linestatus
+"""
+
+Q6_SQL = """
+    SELECT SUM(l_extendedprice * l_discount) AS revenue
+    FROM lineitem
+    WHERE l_shipdate >= {lo} AND l_shipdate < {hi}
+      AND l_discount BETWEEN 0.05 AND 0.07
+      AND l_quantity < 24
+"""
+
+Q4_SQL = """
+    SELECT o_orderpriority, COUNT(*) AS order_count
+    FROM orders JOIN lineitem ON o_orderkey = l_orderkey
+    WHERE o_orderdate >= {lo} AND o_orderdate < {hi}
+      AND l_commitdate < l_receiptdate
+    GROUP BY o_orderpriority
+"""
+
+
+class TestSqlMatchesBuilder:
+    def _compare(self, catalog, sql_text, builder_name):
+        builder_query = build_workload(catalog, (builder_name,))[0]
+        sql_query = parse_query(catalog, sql_text, 0, "sql_" + builder_name)
+        builder_result = batch_reference(catalog, [builder_query])[0]
+        sql_result = batch_reference(catalog, [sql_query])[0]
+        assert sql_result == builder_result
+
+    def test_q1(self, catalog):
+        self._compare(
+            catalog, Q1_SQL.format(cutoff=date_of(1998, 9, 2)), "Q1"
+        )
+
+    def test_q6(self, catalog):
+        self._compare(
+            catalog,
+            Q6_SQL.format(lo=date_of(1994, 1, 1), hi=date_of(1995, 1, 1)),
+            "Q6",
+        )
+
+    def test_q4(self, catalog):
+        self._compare(
+            catalog,
+            Q4_SQL.format(lo=date_of(1993, 7, 1), hi=date_of(1993, 10, 1)),
+            "Q4",
+        )
+
+    def test_sql_queries_share_with_builder_queries(self, catalog):
+        """Structural signatures align, so the MQO can merge across frontends."""
+        from repro.mqo.canonical import canonicalize_optimized
+
+        builder_query = build_workload(catalog, ("Q6",))[0]
+        sql_query = parse_query(
+            catalog,
+            Q6_SQL.format(lo=date_of(1994, 1, 1), hi=date_of(1995, 1, 1)),
+            1, "sql_Q6",
+        )
+        a = canonicalize_optimized(builder_query.root).structure_key()
+        b = canonicalize_optimized(sql_query.root).structure_key()
+        assert a == b

@@ -1,0 +1,241 @@
+"""Tests for the SQL-subset frontend: lexer, parser, lowering."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logical.ops import Aggregate, Join, Project, Scan, Select
+from repro.relational.expressions import Contains, StartsWith
+from repro.sqlparser import parse_query, parse_sql, tokenize
+from repro.sqlparser.ast import (
+    AggCall,
+    BinaryExpr,
+    JoinSource,
+    SelectStmt,
+    SubquerySource,
+    TableSource,
+)
+from repro.sqlparser.lower import lower_select
+
+from .util import batch_reference, make_toy_catalog, assert_plan_correct
+from repro.mqo.merge import build_unshared_plan
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("l_shipdate Brand#23x")
+        assert tokens[0].value == "l_shipdate"
+        assert tokens[1].value == "Brand#23x"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == 42
+        assert tokens[1].value == pytest.approx(3.14)
+
+    def test_strings(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n 1")
+        assert [t.kind for t in tokens] == ["keyword", "number", "eof"]
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("<= >= <> !=")
+        assert [t.value for t in tokens[:-1]] == ["<=", ">=", "<>", "!="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            tokenize("SELECT @")
+
+    def test_qualified_name_not_a_float(self):
+        tokens = tokenize("t1.col")
+        assert [t.kind for t in tokens[:-1]] == ["ident", "op", "ident"]
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b FROM t")
+        assert isinstance(stmt, SelectStmt)
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.source, TableSource)
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_join_on(self):
+        stmt = parse_sql("SELECT a FROM t JOIN u ON k1 = k2")
+        assert isinstance(stmt.source, JoinSource)
+        assert stmt.source.left_key == "k1"
+        assert stmt.source.right_key == "k2"
+
+    def test_chained_joins_left_associative(self):
+        stmt = parse_sql("SELECT a FROM t JOIN u ON k1 = k2 JOIN v ON k3 = k4")
+        assert isinstance(stmt.source, JoinSource)
+        assert isinstance(stmt.source.left, JoinSource)
+
+    def test_subquery_source_requires_alias(self):
+        stmt = parse_sql("SELECT a FROM (SELECT a FROM t) AS sub")
+        assert isinstance(stmt.source, SubquerySource)
+        assert stmt.source.alias == "sub"
+
+    def test_where_group_having(self):
+        stmt = parse_sql(
+            "SELECT g, SUM(v) AS s FROM t WHERE v > 1 GROUP BY g HAVING s > 10"
+        )
+        assert stmt.where is not None
+        assert stmt.group_by == ("g",)
+        assert stmt.having is not None
+
+    def test_operator_precedence(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a + b * 2 > 4 AND c = 1 OR d = 2")
+        # OR at the top, AND below it
+        assert isinstance(stmt.where, BinaryExpr)
+        assert stmt.where.op == "or"
+        assert stmt.where.left.op == "and"
+
+    def test_in_between_like(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE a IN (1, 2) AND b BETWEEN 1 AND 5 "
+            "AND c LIKE 'x%' AND d NOT IN (3)"
+        )
+        assert stmt.where is not None
+
+    def test_count_star(self):
+        stmt = parse_sql("SELECT COUNT(*) AS n FROM t GROUP BY g")
+        assert isinstance(stmt.items[0].expr, AggCall)
+        assert stmt.items[0].expr.argument is None
+
+    def test_unary_minus(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > -5")
+        assert stmt.where is not None
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_sql("SELECT a FROM t extra garbage here")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_sql("SELECT a FROM")
+        assert info.value.position is not None
+
+
+class TestLowering:
+    @pytest.fixture()
+    def catalog(self, toy_catalog):
+        return toy_catalog
+
+    def test_projection_only(self, catalog):
+        plan = lower_select(catalog, parse_sql(
+            "SELECT item_id, price * 2 AS double_price FROM items"
+        ))
+        assert isinstance(plan, Project)
+        assert plan.schema.names() == ("item_id", "double_price")
+
+    def test_where_becomes_select(self, catalog):
+        plan = lower_select(catalog, parse_sql(
+            "SELECT item_id FROM items WHERE price > 10"
+        ))
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Select)
+
+    def test_join_lowering(self, catalog):
+        plan = lower_select(catalog, parse_sql(
+            "SELECT item_id FROM items JOIN categories ON item_cat = cat_id"
+        ))
+        join = plan.child
+        assert isinstance(join, Join)
+        assert join.left_keys == ("item_cat",)
+
+    def test_group_by_lowering(self, catalog):
+        plan = lower_select(catalog, parse_sql(
+            "SELECT item_cat, SUM(price) AS total, COUNT(*) AS n "
+            "FROM items GROUP BY item_cat"
+        ))
+        assert isinstance(plan, Aggregate)
+        assert plan.schema.names() == ("item_cat", "total", "n")
+
+    def test_having_becomes_select_above_aggregate(self, catalog):
+        plan = lower_select(catalog, parse_sql(
+            "SELECT item_cat, SUM(price) AS total FROM items "
+            "GROUP BY item_cat HAVING total > 100"
+        ))
+        assert isinstance(plan, Select)
+        assert isinstance(plan.child, Aggregate)
+
+    def test_like_prefix_lowered_to_startswith(self, catalog):
+        plan = lower_select(catalog, parse_sql(
+            "SELECT cat_id FROM categories WHERE cat_name LIKE 'cat1%'"
+        ))
+        assert isinstance(plan.child.predicate, StartsWith)
+
+    def test_like_infix_lowered_to_contains(self, catalog):
+        plan = lower_select(catalog, parse_sql(
+            "SELECT cat_id FROM categories WHERE cat_name LIKE '%at%'"
+        ))
+        assert isinstance(plan.child.predicate, Contains)
+
+    def test_unsupported_like_pattern_rejected(self, catalog):
+        with pytest.raises(ParseError, match="LIKE"):
+            lower_select(catalog, parse_sql(
+                "SELECT cat_id FROM categories WHERE cat_name LIKE 'a%b%c'"
+            ))
+
+    def test_group_by_missing_column_rejected(self, catalog):
+        with pytest.raises(ParseError, match="GROUP BY"):
+            lower_select(catalog, parse_sql(
+                "SELECT nope, COUNT(*) AS n FROM items GROUP BY nope"
+            ))
+
+    def test_bare_column_without_group_rejected(self, catalog):
+        with pytest.raises(ParseError, match="GROUP BY"):
+            lower_select(catalog, parse_sql(
+                "SELECT price, COUNT(*) AS n FROM items GROUP BY item_cat"
+            ))
+
+    def test_having_without_aggregate_rejected(self, catalog):
+        with pytest.raises(ParseError, match="HAVING"):
+            lower_select(catalog, parse_sql(
+                "SELECT item_id FROM items HAVING item_id > 1"
+            ))
+
+
+class TestSqlEndToEnd:
+    def test_sql_matches_builder_results(self, toy_catalog):
+        sql = parse_query(toy_catalog, """
+            SELECT cat_name, SUM(qty) AS total_qty
+            FROM events
+            JOIN items ON ev_item = item_id
+            JOIN categories ON item_cat = cat_id
+            GROUP BY cat_name
+        """, 0, "sql_total")
+        from .util import toy_query_total
+
+        builder = toy_query_total(toy_catalog, 0)
+        reference = batch_reference(toy_catalog, [builder])
+        plan = build_unshared_plan(toy_catalog, [sql])
+        assert_plan_correct(plan, [sql], reference)
+
+    def test_sql_query_runs_incrementally(self, toy_catalog):
+        sql = parse_query(toy_catalog, """
+            SELECT kind, COUNT(*) AS n, SUM(qty * 2) AS double_qty
+            FROM events WHERE day < 60 GROUP BY kind
+        """, 0, "sql_inc")
+        reference = batch_reference(toy_catalog, [sql])
+        plan = build_unshared_plan(toy_catalog, [sql])
+        assert_plan_correct(plan, [sql], reference,
+                            paces={s.sid: 9 for s in plan.subplans})

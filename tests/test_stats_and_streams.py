@@ -1,0 +1,154 @@
+"""Tests for statistics perturbation, window quantization and TPC-H shapes."""
+
+import pytest
+
+from repro.cost.model import _window_bounds
+from repro.cost.stats import perturb_stats
+from repro.engine.calibrate import calibrate_plan
+from repro.mqo.canonical import canonicalize
+from repro.mqo.merge import MQOOptimizer, build_unshared_plan
+from repro.workloads.tpch import build_query, generate_catalog
+
+from .util import make_toy_catalog, toy_query_region, toy_query_total
+
+
+class TestWindowBounds:
+    def test_continuous_stream_uniform(self):
+        assert _window_bounds(1, 4, None) == (0.0, 0.25)
+        assert _window_bounds(4, 4, None) == (0.75, 1.0)
+
+    def test_quantized_to_producer_grid(self):
+        # producer at granularity 3, consumer at pace 2: windows snap to
+        # thirds -- [0, 1/3), [1/3, 1]
+        t0, t1 = _window_bounds(1, 2, 3)
+        assert (t0, t1) == (0.0, pytest.approx(1 / 3))
+        t0, t1 = _window_bounds(2, 2, 3)
+        assert (t0, t1) == (pytest.approx(1 / 3), 1.0)
+
+    def test_consumer_eagerer_than_producer_gets_empty_gaps(self):
+        # producer granularity 2, consumer pace 4: two of the four
+        # windows are empty
+        widths = [
+            _window_bounds(i, 4, 2)[1] - _window_bounds(i, 4, 2)[0]
+            for i in range(1, 5)
+        ]
+        assert widths.count(0.0) == 2
+        assert sum(widths) == pytest.approx(1.0)
+
+    def test_windows_partition_unit_interval(self):
+        for pace in (1, 3, 7):
+            for granularity in (None, 2, 5, 12):
+                boundaries = [
+                    _window_bounds(i, pace, granularity) for i in range(1, pace + 1)
+                ]
+                assert boundaries[0][0] == 0.0
+                assert boundaries[-1][1] == pytest.approx(1.0)
+                for (_, prev_hi), (lo, _) in zip(boundaries, boundaries[1:]):
+                    assert prev_hi == pytest.approx(lo)
+
+
+class TestPerturbStats:
+    @pytest.fixture()
+    def calibrated_plan(self):
+        catalog = make_toy_catalog(seed=71)
+        queries = [toy_query_total(catalog, 0), toy_query_region(catalog, 1)]
+        plan = MQOOptimizer(catalog).build_shared_plan(queries)
+        calibrate_plan(plan)
+        return plan
+
+    def test_perturbation_changes_estimates(self, calibrated_plan):
+        before = [
+            dict(node.stats.filter_sel_per_q)
+            for subplan in calibrated_plan.subplans
+            for node in subplan.root.walk()
+        ]
+        perturb_stats(calibrated_plan, seed=3)
+        after = [
+            dict(node.stats.filter_sel_per_q)
+            for subplan in calibrated_plan.subplans
+            for node in subplan.root.walk()
+        ]
+        assert before != after
+
+    def test_selectivities_stay_in_unit_range(self, calibrated_plan):
+        perturb_stats(calibrated_plan, seed=3, low=0.1, high=5.0)
+        for subplan in calibrated_plan.subplans:
+            for node in subplan.root.walk():
+                for sel in node.stats.filter_sel_per_q.values():
+                    assert 0.0 <= sel <= 1.0
+
+    def test_group_counts_stay_positive_and_bounded(self, calibrated_plan):
+        perturb_stats(calibrated_plan, seed=3, low=0.01, high=0.2)
+        for subplan in calibrated_plan.subplans:
+            for node in subplan.root.walk():
+                stats = node.stats
+                assert stats.groups_union >= 1.0 or stats.kind != "aggregate"
+                for groups in stats.groups_per_q.values():
+                    assert 1.0 <= groups <= stats.groups_union
+
+    def test_deterministic_for_a_seed(self):
+        def snapshot(seed):
+            catalog = make_toy_catalog(seed=71)
+            queries = [toy_query_total(catalog, 0)]
+            plan = MQOOptimizer(catalog).build_shared_plan(queries)
+            calibrate_plan(plan)
+            perturb_stats(plan, seed=seed)
+            return [
+                (node.stats.join_out, node.stats.groups_union)
+                for subplan in plan.subplans
+                for node in subplan.root.walk()
+            ]
+
+        assert snapshot(9) == snapshot(9)
+        assert snapshot(9) != snapshot(10)
+
+
+class TestTpchQueryShapes:
+    """Structural expectations on individual TPC-H query plans."""
+
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return generate_catalog(scale=0.1, seed=2)
+
+    def test_q15_revenue_view_is_consumed_twice(self, catalog):
+        from repro.mqo.nodes import SubplanRef
+
+        query = build_query(catalog, "Q15", 0)
+        plan = MQOOptimizer(catalog).build_shared_plan([query])
+        # the revenue view materializes once and feeds MAX + the value
+        # join -- two source leaves reading the same buffer
+        reads = {}
+        for subplan in plan.subplans:
+            for node in subplan.root.source_nodes():
+                if isinstance(node.ref, SubplanRef):
+                    sid = node.ref.subplan.sid
+                    reads[sid] = reads.get(sid, 0) + 1
+        assert max(reads.values(), default=0) >= 2, (
+            "Q15's revenue view must be read twice from its buffer"
+        )
+
+    def test_q17_scans_lineitem_twice(self, catalog):
+        query = build_query(catalog, "Q17", 0)
+        node = canonicalize(query.root)
+        lineitem_scans = [
+            n for n in node.walk() if n.kind == "scan" and n.payload == "lineitem"
+        ]
+        assert len(lineitem_scans) == 2  # the correlated-subquery self-join
+
+    def test_q13_has_two_level_aggregation(self, catalog):
+        query = build_query(catalog, "Q13", 0)
+        node = canonicalize(query.root)
+        aggs = [n for n in node.walk() if n.kind == "aggregate"]
+        assert len(aggs) == 2
+
+    @pytest.mark.parametrize("name,tables", [
+        ("Q3", {"customer", "orders", "lineitem"}),
+        ("Q5", {"customer", "orders", "lineitem", "supplier", "nation", "region"}),
+        ("Q11", {"partsupp", "supplier", "nation"}),
+        ("Q14", {"lineitem", "part"}),
+    ])
+    def test_expected_tables(self, catalog, name, tables):
+        query = build_query(catalog, name, 0)
+        node = canonicalize(query.root)
+        scanned = {n.payload for n in node.walk() if n.kind == "scan"}
+        assert scanned == tables

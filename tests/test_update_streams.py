@@ -1,0 +1,122 @@
+"""Tests for update/delete churn on base-table streams (section 2.3)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.executor import PlanExecutor
+from repro.engine.stream import TableStream
+from repro.errors import SchemaError
+from repro.mqo.merge import MQOOptimizer, build_unshared_plan
+from repro.relational.schema import Schema, INT, FLOAT
+from repro.relational.table import Catalog, Table
+from repro.relational.tuples import DELETE, INSERT
+from repro.workloads.tpch import (
+    add_lineitem_updates,
+    build_workload,
+    generate_catalog,
+)
+
+from .util import assert_plan_correct, batch_reference
+
+
+class TestTableChurn:
+    def _table(self):
+        table = Table("t", Schema.of(("k", INT), ("v", FLOAT)))
+        table.extend([(1, 1.0), (2, 2.0), (3, 3.0)])
+        return table
+
+    def test_default_log_is_pure_inserts(self):
+        table = self._table()
+        log = table.delta_log()
+        assert [sign for _, sign in log] == [INSERT] * 3
+        assert table.log_length() == 3
+        assert table.delete_count() == 0
+
+    def test_apply_updates_appends_delete_insert_pair(self):
+        table = self._table()
+        table.apply_updates([((2, 2.0), (2, 20.0))])
+        log = table.delta_log()
+        assert table.log_length() == 5
+        assert table.delete_count() == 1
+        assert log[-2] == ((2, 2.0), DELETE)
+        assert log[-1] == ((2, 20.0), INSERT)
+
+    def test_apply_updates_randomized_position_after_arrival(self):
+        table = self._table()
+        table.apply_updates([((1, 1.0), (1, 10.0))], rng=random.Random(3))
+        log = table.delta_log()
+        arrival = log.index(((1, 1.0), INSERT))
+        delete_pos = log.index(((1, 1.0), DELETE))
+        assert delete_pos > arrival
+        assert log[delete_pos + 1] == ((1, 10.0), INSERT)
+
+    def test_update_of_missing_row_rejected(self):
+        table = self._table()
+        with pytest.raises(SchemaError, match="not found"):
+            table.apply_updates([((9, 9.0), (9, 90.0))])
+
+    def test_stream_replays_churn_log(self):
+        table = self._table()
+        table.apply_updates([((2, 2.0), (2, 20.0))])
+        stream = TableStream(table)
+        deltas = stream.deltas_until(Fraction(1))
+        assert len(deltas) == 5
+        assert sum(1 for d in deltas if d.sign == DELETE) == 1
+
+
+class TestChurnExecution:
+    @pytest.fixture(scope="class")
+    def churn_catalog(self):
+        catalog = generate_catalog(scale=0.15, seed=6)
+        return add_lineitem_updates(catalog, fraction=0.08, seed=2)
+
+    def test_batch_results_reflect_updates(self, churn_catalog):
+        clean = generate_catalog(scale=0.15, seed=6)
+        queries_clean = build_workload(clean, ("Q1",))
+        queries_churn = build_workload(churn_catalog, ("Q1",))
+        clean_ref = batch_reference(clean, queries_clean)
+        churn_ref = batch_reference(churn_catalog, queries_churn)
+        assert clean_ref[0] != churn_ref[0]
+
+    @pytest.mark.parametrize("pace", [1, 3, 7])
+    def test_incremental_equals_batch_with_churn_unshared(self, churn_catalog, pace):
+        queries = build_workload(churn_catalog, ("Q1", "Q6", "Q18"))
+        reference = batch_reference(churn_catalog, queries)
+        plan = build_unshared_plan(churn_catalog, queries)
+        assert_plan_correct(
+            plan, queries, reference,
+            paces={s.sid: pace for s in plan.subplans},
+        )
+
+    @pytest.mark.parametrize("pace", [1, 5])
+    def test_incremental_equals_batch_with_churn_shared(self, churn_catalog, pace):
+        queries = build_workload(churn_catalog, ("Q3", "Q5", "Q10"))
+        reference = batch_reference(churn_catalog, queries)
+        plan = MQOOptimizer(churn_catalog).build_shared_plan(queries)
+        assert_plan_correct(
+            plan, queries, reference,
+            paces={s.sid: pace for s in plan.subplans},
+        )
+
+    def test_q15_with_churn_exercises_rescans(self, churn_catalog):
+        queries = build_workload(churn_catalog, ("Q15",))
+        plan = build_unshared_plan(churn_catalog, queries)
+        reference = batch_reference(churn_catalog, queries)
+        run = assert_plan_correct(
+            plan, queries, reference, paces={0: 10}
+        )
+        assert run.total_work > 0
+
+    def test_cost_model_sees_table_deletes(self, churn_catalog):
+        from repro.cost.memo import PlanCostModel
+        from repro.engine.calibrate import calibrate_plan
+
+        queries = build_workload(churn_catalog, ("Q1",))
+        plan = build_unshared_plan(churn_catalog, queries)
+        calibrate_plan(plan)
+        model = PlanCostModel(plan)
+        profile = model.table_stat("lineitem")
+        assert profile.stat.deletes > 0
+        assert profile.stat.total == churn_catalog.get("lineitem").log_length()
