@@ -6,12 +6,13 @@ iShare (w/o unshare) suffers the overly-eager shared subplans; the
 brute-force splitter lands close to the greedy clustering.
 """
 
-from common import run_and_report
+from common import bench_jobs, run_and_report
 from repro.harness import fig14
 
 
 def test_fig14_decomposition(benchmark):
     result = run_and_report(
         benchmark, "fig14",
-        lambda: fig14(scale=0.4, max_pace=100, levels=(1.0, 0.5, 0.2, 0.1)),
+        lambda: fig14(scale=0.4, max_pace=100, levels=(1.0, 0.5, 0.2, 0.1),
+                      jobs=bench_jobs()),
     )

@@ -5,11 +5,50 @@ is the expensive end-to-end pipeline), prints the paper-style tables, and
 archives them under ``benchmarks/results/``.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Two environment knobs control the harness layer:
+
+``REPRO_BENCH_JOBS``
+    worker processes for the parallelizable sweep drivers (default 1 =
+    serial; 0 = all cores).  Results are identical at any job count; the
+    per-cell timings are archived as ``results/<name>.timings.json``.
+``REPRO_BENCH_NO_CACHE``
+    set to disable the on-disk calibration cache.  By default repeat
+    benchmark runs reuse calibrations from ``benchmarks/.calibration-cache``
+    (or ``$REPRO_CACHE_DIR``) and skip every reference batch run.
 """
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_jobs():
+    """Worker processes for parallelizable drivers (``REPRO_BENCH_JOBS``)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _maybe_enable_cache():
+    if os.environ.get("REPRO_BENCH_NO_CACHE"):
+        return
+    from repro.cost.cache import (
+        CalibrationCache,
+        get_default_cache,
+        set_default_cache,
+    )
+
+    if get_default_cache() is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+            os.path.dirname(__file__), ".calibration-cache"
+        )
+        set_default_cache(CalibrationCache(cache_dir))
+
+
+_maybe_enable_cache()
 
 
 def run_and_report(benchmark, name, experiment):
@@ -26,4 +65,8 @@ def run_and_report(benchmark, name, experiment):
     if tables:
         with open(os.path.join(RESULTS_DIR, "%s.csv" % name), "w") as handle:
             handle.write(result.to_csv())
+    timings = getattr(result, "data", {}).get("timings")
+    if timings:
+        with open(os.path.join(RESULTS_DIR, "%s.timings.json" % name), "w") as handle:
+            json.dump(timings, handle, indent=2)
     return result

@@ -52,6 +52,24 @@ class OptimizerConfig:
         #: the paper's (omitted) inaccurate-cardinality-estimation test
         self.stats_noise_seed = stats_noise_seed
 
+    def replace(self, **overrides):
+        """A copy of this config with ``overrides`` applied.
+
+        Every attribute is carried over verbatim before the overrides, so
+        a field added to ``__init__`` is never silently dropped (the
+        hazard of hand-copied reconstructions).  Unknown names raise
+        :class:`TypeError`.
+        """
+        unknown = [name for name in overrides if name not in self.__dict__]
+        if unknown:
+            raise TypeError(
+                "unknown OptimizerConfig field(s): %s" % ", ".join(sorted(unknown))
+            )
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        clone.__dict__.update(overrides)
+        return clone
+
 
 class OptimizationResult:
     """A chosen plan + pace configuration, with optimizer diagnostics."""

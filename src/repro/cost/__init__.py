@@ -13,6 +13,7 @@ from .model import (
     simulate_subplan,
 )
 from .memo import PlanCostModel, CostEvaluation, OptimizationTimeout
+from .cache import CalibrationCache, get_default_cache, set_default_cache
 
 __all__ = [
     "NodeStats",
@@ -32,4 +33,7 @@ __all__ = [
     "PlanCostModel",
     "CostEvaluation",
     "OptimizationTimeout",
+    "CalibrationCache",
+    "get_default_cache",
+    "set_default_cache",
 ]

@@ -5,12 +5,28 @@ recurring query's prior executions tell the optimizer the cardinalities
 it needs.  :func:`calibrate_plan` runs the plan once in batch mode
 (every pace 1) with statistics collection enabled and attaches a
 :class:`~repro.cost.stats.NodeStats` to every plan node.
+
+Calibration results can be cached on disk (:mod:`repro.cost.cache`):
+when a cache is passed -- or installed process-wide with
+:func:`repro.cost.cache.set_default_cache` -- a repeat calibration over
+the same plan structure, table content and stream configuration replays
+the stored statistics instead of executing the batch run.
 """
 
+from ..cost import cache as calibration_cache
 from ..cost.stats import NodeStats
 from ..physical.operators import AggregateExec, JoinExec, SourceExec
 from .executor import PlanExecutor
 from .stream import StreamConfig
+
+#: count of *actual* calibration batch executions in this process (cache
+#: replays do not increment it); tests assert warm runs leave it untouched
+_execution_count = [0]
+
+
+def calibration_execution_count():
+    """How many non-cached calibration batch runs this process performed."""
+    return _execution_count[0]
 
 
 class CalibrationResult:
@@ -38,12 +54,52 @@ class CalibrationResult:
         return "CalibrationResult(total_work=%.1f)" % self.run.total_work
 
 
-def calibrate_plan(plan, stream_config=None):
-    """Run ``plan`` in batch mode and attach statistics to its nodes."""
+class CachedCalibrationRun:
+    """Summary stand-in for the batch :class:`RunResult` of a cache replay.
+
+    Carries the aggregate measurements consumers of a calibration use;
+    the per-execution records of the original run are not stored.
+    """
+
+    __slots__ = ("stream_config", "total_work", "subplan_total_work", "records")
+
+    def __init__(self, stream_config, total_work, subplan_total_work):
+        self.stream_config = stream_config
+        self.total_work = total_work
+        self.subplan_total_work = dict(subplan_total_work)
+        self.records = []
+
+    @property
+    def total_seconds(self):
+        return self.stream_config.seconds(self.total_work)
+
+    def __repr__(self):
+        return "CachedCalibrationRun(total_work=%.1f)" % self.total_work
+
+
+def calibrate_plan(plan, stream_config=None, cache=None):
+    """Run ``plan`` in batch mode and attach statistics to its nodes.
+
+    ``cache`` overrides the process-wide default calibration cache
+    (:func:`repro.cost.cache.set_default_cache`); when either is set, a
+    content-key hit replays the stored statistics without executing.
+    """
     stream_config = stream_config or StreamConfig()
+    if cache is None:
+        cache = calibration_cache.get_default_cache()
+    key = None
+    if cache is not None:
+        key = cache.key_for(plan, stream_config)
+        payload = cache.get(key)
+        if payload is not None:
+            result = _replay_cached(plan, stream_config, payload)
+            if result is not None:
+                return result
+
     executor = PlanExecutor(plan, stream_config, stats_mode=True)
     paces = {subplan.sid: 1 for subplan in plan.subplans}
     run = executor.run(paces, collect_results=False)
+    _execution_count[0] += 1
 
     for unit in executor.compiled.values():
         _collect_stats(unit.root_exec)
@@ -57,6 +113,59 @@ def calibrate_plan(plan, stream_config=None):
         )
         query_batch_work[qid] = work
         query_batch_latency[qid] = stream_config.seconds(work)
+    result = CalibrationResult(run, query_batch_work, query_batch_latency)
+    if cache is not None:
+        cache.put(key, _serialize_result(plan, result))
+    return result
+
+
+def _serialize_result(plan, result):
+    """JSON-safe cache payload for one calibration outcome."""
+    order = plan.topological_order()
+    position = {subplan.sid: index for index, subplan in enumerate(order)}
+    return {
+        "stats": calibration_cache.serialize_stats(plan),
+        "query_batch_work": {
+            str(qid): work for qid, work in result.query_batch_work.items()
+        },
+        "total_work": result.run.total_work,
+        "subplan_total_work": {
+            str(position[sid]): work
+            for sid, work in result.run.subplan_total_work.items()
+        },
+    }
+
+
+def _replay_cached(plan, stream_config, payload):
+    """Rebuild a :class:`CalibrationResult` from a cache payload.
+
+    Returns None (fall through to a real batch run) when the payload does
+    not line up with the plan -- a stale or corrupt entry, not an error.
+    """
+    try:
+        calibration_cache.apply_stats(plan, payload["stats"])
+        query_batch_work = {
+            int(qid): float(work)
+            for qid, work in payload["query_batch_work"].items()
+        }
+        total_work = float(payload["total_work"])
+        stored_subplan_work = payload.get("subplan_total_work", {})
+    except (KeyError, TypeError, ValueError):
+        return None
+    if set(query_batch_work) != set(plan.query_roots):
+        return None
+    order = plan.topological_order()
+    subplan_total_work = {}
+    try:
+        for position, work in stored_subplan_work.items():
+            subplan_total_work[order[int(position)].sid] = float(work)
+    except (IndexError, TypeError, ValueError):
+        return None
+    query_batch_latency = {
+        qid: stream_config.seconds(work)
+        for qid, work in query_batch_work.items()
+    }
+    run = CachedCalibrationRun(stream_config, total_work, subplan_total_work)
     return CalibrationResult(run, query_batch_work, query_batch_latency)
 
 

@@ -155,12 +155,29 @@ class PlanExecutor:
         one = Fraction(1)
         schedule = {}
         for subplan in order:
+            if subplan.sid not in fractions:
+                raise ExecutionError(
+                    "no execution fractions for subplan %d" % subplan.sid
+                )
             points = [Fraction(f) for f in fractions[subplan.sid]]
             if not points or points[-1] != one:
                 raise ExecutionError(
                     "subplan %d must execute at the trigger point" % subplan.sid
                 )
+            previous = None
             for fraction in points:
+                if fraction <= 0 or fraction > one:
+                    raise ExecutionError(
+                        "subplan %d execution fraction %s outside (0, 1]"
+                        % (subplan.sid, fraction)
+                    )
+                if previous is not None and fraction <= previous:
+                    raise ExecutionError(
+                        "subplan %d execution fractions must be strictly "
+                        "ascending, got %s after %s"
+                        % (subplan.sid, fraction, previous)
+                    )
+                previous = fraction
                 schedule.setdefault(fraction, []).append(subplan.sid)
 
         if pace_config is None:

@@ -79,10 +79,27 @@ class RunResult:
         )
 
 
+#: relative miss reported when the goal itself is zero but the tested
+#: latency is not: the goal is missed by an unbounded factor, reported as
+#: this finite cap so summary means stay arithmetically usable
+ZERO_GOAL_RELATIVE_MISS = 1e3
+
+
 def missed_latency(tested_seconds, goal_seconds):
-    """``(absolute, relative)`` missed latency versus a goal (section 5.1)."""
+    """``(absolute, relative)`` missed latency versus a goal (section 5.1).
+
+    A zero goal met exactly (tested 0) is a zero miss; a zero goal with
+    any positive tested latency is a full miss, reported with the capped
+    relative value :data:`ZERO_GOAL_RELATIVE_MISS` rather than the old
+    (wrong) 0.0.
+    """
     absolute = max(0.0, tested_seconds - goal_seconds)
-    relative = absolute / goal_seconds if goal_seconds > 0 else 0.0
+    if goal_seconds > 0:
+        relative = absolute / goal_seconds
+    elif absolute > 0:
+        relative = ZERO_GOAL_RELATIVE_MISS
+    else:
+        relative = 0.0
     return absolute, relative
 
 

@@ -54,16 +54,37 @@ class StreamConfig:
         self.execution_overhead = float(execution_overhead)
         self.state_factor = float(state_factor)
         self.compact_buffers = bool(compact_buffers)
+        if self.load_seconds <= 0:
+            raise ValueError(
+                "load_seconds must be positive, got %r" % (load_seconds,)
+            )
+        if self.work_rate <= 0:
+            raise ValueError("work_rate must be positive, got %r" % (work_rate,))
+        if self.execution_overhead < 0:
+            raise ValueError(
+                "execution_overhead must be non-negative, got %r"
+                % (execution_overhead,)
+            )
+        if self.state_factor < 0:
+            raise ValueError(
+                "state_factor must be non-negative, got %r" % (state_factor,)
+            )
 
     def seconds(self, work_units):
         """Convert work units to seconds."""
         return work_units / self.work_rate
 
     def __repr__(self):
-        return "StreamConfig(load=%.0fs, rate=%.0f/s, overhead=%.1f)" % (
-            self.load_seconds,
-            self.work_rate,
-            self.execution_overhead,
+        return (
+            "StreamConfig(load=%.0fs, rate=%.0f/s, overhead=%.1f, "
+            "state_factor=%.2f, compact_buffers=%s)"
+            % (
+                self.load_seconds,
+                self.work_rate,
+                self.execution_overhead,
+                self.state_factor,
+                self.compact_buffers,
+            )
         )
 
 

@@ -2,6 +2,7 @@
 
 from .runner import APPROACHES, VARIANTS, ApproachResult, ExperimentRunner
 from .recurring import RecurringSimulation, DayOutcome
+from .parallel import CellOutcome, ExperimentCell, run_cells, timing_report
 from .report import format_table, missed_latency_row, MISSED_HEADERS
 from .experiments import (
     default_config,
@@ -27,6 +28,10 @@ __all__ = [
     "ExperimentRunner",
     "RecurringSimulation",
     "DayOutcome",
+    "CellOutcome",
+    "ExperimentCell",
+    "run_cells",
+    "timing_report",
     "format_table",
     "missed_latency_row",
     "MISSED_HEADERS",

@@ -3,45 +3,53 @@
 Usage::
 
     python -m repro.harness fig9  --scale 0.5 --max-pace 100
-    python -m repro.harness fig11 --scale 0.4
-    python -m repro.harness all   --scale 0.3 --max-pace 50
+    python -m repro.harness fig11 --scale 0.4 --jobs 4
+    python -m repro.harness all   --scale 0.3 --max-pace 50 --no-cache
 
 Each experiment prints the same rows/series the paper's figure or table
 reports.  See EXPERIMENTS.md for expected shapes.
+
+``--jobs N`` fans the independent (approach, constraint-set) cells of the
+sweep experiments out over N worker processes (0 = all cores); results
+are identical to the serial run.  Calibration results are cached on disk
+between runs (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-calibration``); ``--no-cache`` disables that.
 """
 
 import argparse
+import os
 import sys
 import time
 
+from ..cost.cache import CalibrationCache, set_default_cache
 from . import experiments
 
 EXPERIMENTS = {
     "fig9": lambda args, config: experiments.fig9(
-        args.scale, args.max_pace, config=config
+        args.scale, args.max_pace, config=config, jobs=args.jobs
     ),
     "fig10": lambda args, config: experiments.fig10(args.scale, config=config),
     "fig11": lambda args, config: experiments.fig11(
-        args.scale, args.max_pace, config=config
+        args.scale, args.max_pace, config=config, jobs=args.jobs
     ),
     "fig12": lambda args, config: experiments.fig12(
-        args.scale, args.max_pace, config=config
+        args.scale, args.max_pace, config=config, jobs=args.jobs
     ),
     "fig13": lambda args, config: experiments.fig13(
         args.scale, args.max_pace, config=config
     ),
     "fig14": lambda args, config: experiments.fig14(
-        args.scale, args.max_pace, config=config
+        args.scale, args.max_pace, config=config, jobs=args.jobs
     ),
     "fig15": lambda args, config: experiments.fig15(args.scale),
     "fig16": lambda args, config: experiments.fig16(
         args.scale, args.max_pace, config=config
     ),
     "fig17": lambda args, config: experiments.fig17(
-        args.scale, args.max_pace, config=config
+        args.scale, args.max_pace, config=config, jobs=args.jobs
     ),
     "table1": lambda args, config: experiments.table1(
-        args.scale, args.max_pace, config=config
+        args.scale, args.max_pace, config=config, jobs=args.jobs
     ),
 }
 
@@ -62,7 +70,22 @@ def main(argv=None):
                         help="max pace J (default 100, as in the paper)")
     parser.add_argument("--state-factor", type=float, default=0.3,
                         help="per-entry state maintenance charge")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent experiment "
+                             "cells (default 1 = serial, 0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk calibration cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="calibration cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-calibration)")
     args = parser.parse_args(argv)
+    if args.jobs == 0:
+        args.jobs = os.cpu_count() or 1
+
+    if args.no_cache:
+        set_default_cache(None)
+    else:
+        set_default_cache(CalibrationCache(args.cache_dir))
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -70,6 +93,20 @@ def main(argv=None):
         started = time.monotonic()
         result = EXPERIMENTS[name](args, config)
         print(result.text())
+        timings = result.data.get("timings")
+        if timings:
+            print(
+                "\n[%s: %d cells, %.1f cell-seconds over %d jobs, "
+                "wall %.1fs, speedup %.1fx]"
+                % (
+                    name,
+                    len(timings["cells"]),
+                    timings["cell_seconds_total"],
+                    timings["jobs"],
+                    timings["wall_seconds"],
+                    timings["speedup"],
+                )
+            )
         print("\n[%s finished in %.1fs]\n" % (name, time.monotonic() - started))
     return 0
 

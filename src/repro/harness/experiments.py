@@ -28,6 +28,7 @@ from ..workloads.tpch import (
     generate_catalog,
     mutate_query,
 )
+from .parallel import ExperimentCell, run_cells, timing_report
 from .report import MISSED_HEADERS, format_table, missed_latency_row
 from .runner import APPROACHES, ExperimentRunner
 
@@ -88,7 +89,7 @@ def _total_seconds_table(result, title, rows_by_label):
 
 # -- Figure 9: random relative constraints -------------------------------------
 
-def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None):
+def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
     """Mean/min/max total execution time over random constraint sets."""
     config = config or default_config(max_pace)
     catalog = generate_catalog(scale=scale)
@@ -98,11 +99,22 @@ def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None):
     totals = {name: [] for name in APPROACHES}
     missed_all = {name: None for name in APPROACHES}
     per_seed = []
+    cells = [
+        ExperimentCell(
+            name, random_constraints(range(len(queries)), seed=seed),
+            key=(seed, name),
+        )
+        for seed in seeds
+        for name in APPROACHES
+    ]
+    started = time.monotonic()
+    outcomes = run_cells(runner, cells, jobs=jobs)
+    wall_seconds = time.monotonic() - started
+    by_key = {outcome.key: outcome for outcome in outcomes}
     for seed in seeds:
-        relative = random_constraints(range(len(queries)), seed=seed)
         approach_results = {}
         for name in APPROACHES:
-            approach = runner.run_approach(name, relative)
+            approach = by_key[(seed, name)].result
             approach_results[name] = approach
             totals[name].append(approach.total_seconds)
             if missed_all[name] is None:
@@ -123,6 +135,7 @@ def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None):
     result.data["totals"] = totals
     result.data["missed"] = missed_all
     result.data["per_seed"] = per_seed
+    result.data["timings"] = timing_report(outcomes, jobs, wall_seconds)
     return result
 
 
@@ -159,7 +172,7 @@ def fig10(scale=0.5, config=None):
 
 # -- Figures 11/12: uniform relative constraints --------------------------------
 
-def _uniform_sweep(names, title, scale, max_pace, levels, config):
+def _uniform_sweep(names, title, scale, max_pace, levels, config, jobs=1):
     config = config or default_config(max_pace)
     catalog = generate_catalog(scale=scale)
     queries = build_workload(catalog, names)
@@ -167,11 +180,22 @@ def _uniform_sweep(names, title, scale, max_pace, levels, config):
     result = ExperimentResult(title)
     rows_by_label = []
     missed_all = {name: None for name in APPROACHES}
+    cells = [
+        ExperimentCell(
+            name, uniform_constraints(range(len(queries)), level),
+            key=(level, name),
+        )
+        for level in levels
+        for name in APPROACHES
+    ]
+    started = time.monotonic()
+    outcomes = run_cells(runner, cells, jobs=jobs)
+    wall_seconds = time.monotonic() - started
+    by_key = {outcome.key: outcome for outcome in outcomes}
     for level in levels:
-        relative = uniform_constraints(range(len(queries)), level)
         by_approach = {}
         for name in APPROACHES:
-            approach = runner.run_approach(name, relative)
+            approach = by_key[(level, name)].result
             by_approach[name] = approach
             if missed_all[name] is None:
                 missed_all[name] = approach.missed
@@ -182,34 +206,35 @@ def _uniform_sweep(names, title, scale, max_pace, levels, config):
     _total_seconds_table(result, "Total execution time (s)", rows_by_label)
     result.data["rows"] = rows_by_label
     result.data["missed"] = missed_all
+    result.data["timings"] = timing_report(outcomes, jobs, wall_seconds)
     return result
 
 
-def fig11(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None):
+def fig11(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1):
     """Uniform relative constraints over all 22 queries."""
     return _uniform_sweep(
         ALL_QUERY_NAMES,
         "Figure 11: uniform relative constraints (22 queries)",
-        scale, max_pace, levels, config,
+        scale, max_pace, levels, config, jobs=jobs,
     )
 
 
-def fig12(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None):
+def fig12(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1):
     """Uniform relative constraints over the sharing-friendly 10 queries."""
     return _uniform_sweep(
         SHARING_FRIENDLY,
         "Figure 12: uniform relative constraints (10 queries)",
-        scale, max_pace, levels, config,
+        scale, max_pace, levels, config, jobs=jobs,
     )
 
 
 # -- Table 1: missed latencies ---------------------------------------------------
 
-def table1(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None):
+def table1(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
     """Missed latencies of random and uniform relative constraints."""
-    random_result = fig9(scale, max_pace, seeds, config)
-    uniform22 = fig11(scale, max_pace, config=config)
-    uniform10 = fig12(scale, max_pace, config=config)
+    random_result = fig9(scale, max_pace, seeds, config, jobs=jobs)
+    uniform22 = fig11(scale, max_pace, config=config, jobs=jobs)
+    uniform10 = fig12(scale, max_pace, config=config, jobs=jobs)
     result = ExperimentResult("Table 1: missed latencies (random and uniform)")
     rows = [
         missed_latency_row(name, random_result.data["missed"][name])
@@ -336,7 +361,7 @@ def _tune_constraints(runner, name, relative, goals, rounds):
 # -- Figure 14 / Table 3: decomposition ablation ----------------------------------
 
 def fig14(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
-          seed=0, brute_force_limit=8):
+          seed=0, brute_force_limit=8, jobs=1):
     """The section 5.4 decomposition experiment.
 
     Workload: the 10 sharing-friendly queries plus predicate-mutated
@@ -352,11 +377,22 @@ def fig14(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
     headers = ["Constraints"] + names
     rows = []
     missed_all = {name: None for name in names}
+    cells = [
+        ExperimentCell(
+            name, uniform_constraints(range(len(queries)), level),
+            key=(level, name),
+        )
+        for level in levels
+        for name in names
+    ]
+    started = time.monotonic()
+    outcomes = run_cells(runner, cells, jobs=jobs)
+    wall_seconds = time.monotonic() - started
+    by_key = {outcome.key: outcome for outcome in outcomes}
     for level in levels:
-        relative = uniform_constraints(range(len(queries)), level)
         row = ["rel=%.1f" % level]
         for name in names:
-            approach = runner.run_approach(name, relative)
+            approach = by_key[(level, name)].result
             row.append(approach.total_seconds)
             if missed_all[name] is None:
                 missed_all[name] = approach.missed
@@ -369,6 +405,7 @@ def fig14(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
     result.add_section(format_table(MISSED_HEADERS, rows, "Missed latencies (Table 3)"))
     result.data["missed"] = missed_all
     result.data["rows"] = rows
+    result.data["timings"] = timing_report(outcomes, jobs, wall_seconds)
     return result
 
 
@@ -474,7 +511,7 @@ PAIRS = {
 }
 
 
-def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None):
+def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1):
     """Query pairs with varied incrementability (Figure 17 a/b/c).
 
     The first query of each pair keeps relative constraint 1.0 (Q5, Q15,
@@ -484,6 +521,8 @@ def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None):
     catalog = generate_catalog(scale=scale)
     result = ExperimentResult("Figure 17: incrementability micro-benchmarks")
     result.data["pairs"] = {}
+    all_outcomes = []
+    wall_seconds = 0.0
     for pair_name, (fixed_name, varied_name) in PAIRS.items():
         if pair_name == "PairC":
             queries = build_pair(catalog)  # QA id 0, QB id 1
@@ -493,13 +532,23 @@ def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None):
                 build_query(catalog, varied_name, 1),
             ]
         runner = ExperimentRunner(catalog, queries, config)
-        rows_by_label = []
-        for level in levels:
-            relative = {0: 1.0, 1: level}
-            by_approach = {
-                name: runner.run_approach(name, relative) for name in APPROACHES
-            }
-            rows_by_label.append(("rel=%.1f" % level, by_approach))
+        cells = [
+            ExperimentCell(name, {0: 1.0, 1: level}, key=(level, name))
+            for level in levels
+            for name in APPROACHES
+        ]
+        started = time.monotonic()
+        outcomes = run_cells(runner, cells, jobs=jobs)
+        wall_seconds += time.monotonic() - started
+        all_outcomes.extend(outcomes)
+        by_key = {outcome.key: outcome for outcome in outcomes}
+        rows_by_label = [
+            (
+                "rel=%.1f" % level,
+                {name: by_key[(level, name)].result for name in APPROACHES},
+            )
+            for level in levels
+        ]
         headers = ["%s (vary %s)" % (pair_name, varied_name)] + list(APPROACHES)
         rows = [
             [label] + [by_approach[name].total_seconds for name in APPROACHES]
@@ -507,6 +556,7 @@ def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None):
         ]
         result.add_section(format_table(headers, rows))
         result.data["pairs"][pair_name] = rows_by_label
+    result.data["timings"] = timing_report(all_outcomes, jobs, wall_seconds)
     return result
 
 

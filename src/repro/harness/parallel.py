@@ -1,0 +1,167 @@
+"""Process-parallel execution of independent experiment cells.
+
+One *cell* is an ``(approach, constraint_set)`` pair -- the unit both
+:meth:`~repro.harness.runner.ExperimentRunner.run_all` and the per-figure
+sweeps in :mod:`repro.harness.experiments` iterate over.  Cells are
+mutually independent (each builds its own plan, calibrates, optimizes and
+executes), so they fan out cleanly over a
+:class:`~concurrent.futures.ProcessPoolExecutor`: every worker receives
+the workload (catalog, query batch, optimizer config) once via the pool
+initializer and then processes cells from tiny ``(approach, constraints)``
+task tuples.
+
+Determinism: the whole pipeline is a seeded simulation, so a worker
+process computes bit-identical results to the serial path; outcomes are
+re-ordered to the submission order before returning, and ``jobs=1`` does
+not touch multiprocessing at all -- it runs the exact serial loop the
+harness always ran.
+
+Workers inherit the calibration cache directory (if a process-wide cache
+is installed, see :mod:`repro.cost.cache`), so concurrent cells share
+reference calibrations through the on-disk store instead of each paying
+for their own.
+"""
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from ..cost import cache as calibration_cache
+
+
+class ExperimentCell:
+    """One independent (approach, constraint-set) work unit."""
+
+    __slots__ = ("approach", "relative_constraints", "key", "pace_override")
+
+    def __init__(self, approach, relative_constraints, key=None,
+                 pace_override=None):
+        self.approach = approach
+        self.relative_constraints = dict(relative_constraints)
+        self.key = approach if key is None else key
+        self.pace_override = dict(pace_override) if pace_override else None
+
+    def __repr__(self):
+        return "ExperimentCell(%r, key=%r)" % (self.approach, self.key)
+
+
+class CellOutcome:
+    """A cell's :class:`~repro.harness.runner.ApproachResult` + wall clock."""
+
+    __slots__ = ("key", "approach", "result", "wall_seconds")
+
+    def __init__(self, key, approach, result, wall_seconds):
+        self.key = key
+        self.approach = approach
+        self.result = result
+        self.wall_seconds = wall_seconds
+
+    def __repr__(self):
+        return "CellOutcome(%r, %.2fs)" % (self.key, self.wall_seconds)
+
+
+def resolve_jobs(jobs):
+    """Normalize a ``--jobs`` value: 0/None means every core."""
+    if not jobs:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+# -- worker side ----------------------------------------------------------------
+
+_WORKER_RUNNER = None
+
+
+def _init_worker(catalog, queries, config, cache_dir):
+    """Build this worker's runner once; cells then arrive as tiny tuples."""
+    global _WORKER_RUNNER
+    from .runner import ExperimentRunner
+
+    if cache_dir is not None:
+        calibration_cache.set_default_cache(
+            calibration_cache.CalibrationCache(cache_dir)
+        )
+    _WORKER_RUNNER = ExperimentRunner(catalog, queries, config)
+
+
+def _run_cell(index, approach, relative_constraints, pace_override):
+    started = time.monotonic()
+    result = _WORKER_RUNNER.run_approach(
+        approach, relative_constraints, pace_override=pace_override
+    )
+    return index, result, time.monotonic() - started
+
+
+# -- driver side ----------------------------------------------------------------
+
+def run_cells(runner, cells, jobs=1):
+    """Run experiment cells; returns :class:`CellOutcome` in input order.
+
+    ``jobs=1`` (the default) preserves today's exact serial behavior --
+    the same ``runner.run_approach`` calls in the same order, in process.
+    ``jobs>1`` fans independent cells out over worker processes; result
+    ordering (and, the pipeline being deterministic, every measured
+    number) is identical to the serial run.
+    """
+    cells = list(cells)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        outcomes = []
+        for cell in cells:
+            started = time.monotonic()
+            result = runner.run_approach(
+                cell.approach, cell.relative_constraints,
+                pace_override=cell.pace_override,
+            )
+            outcomes.append(
+                CellOutcome(cell.key, cell.approach, result,
+                            time.monotonic() - started)
+            )
+        return outcomes
+
+    cache = calibration_cache.get_default_cache()
+    cache_dir = cache.cache_dir if cache is not None else None
+    outcomes = [None] * len(cells)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)),
+        initializer=_init_worker,
+        initargs=(runner.catalog, runner.queries, runner.config, cache_dir),
+    ) as pool:
+        futures = [
+            pool.submit(
+                _run_cell, index, cell.approach, cell.relative_constraints,
+                cell.pace_override,
+            )
+            for index, cell in enumerate(cells)
+        ]
+        for future in futures:
+            index, result, wall_seconds = future.result()
+            cell = cells[index]
+            outcomes[index] = CellOutcome(
+                cell.key, cell.approach, result, wall_seconds
+            )
+    return outcomes
+
+
+def timing_report(outcomes, jobs, wall_seconds):
+    """Structured per-cell timing block for experiment reports.
+
+    ``speedup`` is the sum of per-cell seconds over the measured wall
+    clock -- 1.0 for serial runs, approaching ``jobs`` for a perfectly
+    parallel sweep; benchmarks archive it next to their result tables.
+    """
+    total = sum(outcome.wall_seconds for outcome in outcomes)
+    return {
+        "jobs": resolve_jobs(jobs),
+        "wall_seconds": wall_seconds,
+        "cell_seconds_total": total,
+        "speedup": (total / wall_seconds) if wall_seconds > 0 else 1.0,
+        "cells": [
+            {
+                "key": str(outcome.key),
+                "approach": outcome.approach,
+                "seconds": outcome.wall_seconds,
+            }
+            for outcome in outcomes
+        ],
+    }

@@ -136,23 +136,7 @@ class ExperimentRunner:
         manual-tuning experiment, Figure 13).
         """
         optimizer, overrides = self._optimizer_for(name)
-        config = self.config
-        if overrides:
-            config = OptimizerConfig(
-                max_pace=self.config.max_pace,
-                stream_config=self.config.stream_config,
-                cost_config=self.config.cost_config,
-                use_memo=self.config.use_memo,
-                enable_unshare=overrides.get(
-                    "enable_unshare", self.config.enable_unshare
-                ),
-                enable_partial=self.config.enable_partial,
-                brute_force_split=overrides.get(
-                    "brute_force_split", self.config.brute_force_split
-                ),
-                min_shared_operators=self.config.min_shared_operators,
-                time_budget=self.config.time_budget,
-            )
+        config = self.config.replace(**overrides) if overrides else self.config
         absolute = self.absolute_constraints(relative_constraints)
         optimization = optimizer(
             self.catalog, self.queries, relative_constraints, config,
@@ -167,6 +151,16 @@ class ExperimentRunner:
             missed.add(run.query_latency_seconds(qid), goal)
         return ApproachResult(name, optimization, run, goals, missed)
 
-    def run_all(self, relative_constraints, names=APPROACHES):
-        """Run several approaches under the same constraints."""
-        return [self.run_approach(name, relative_constraints) for name in names]
+    def run_all(self, relative_constraints, names=APPROACHES, jobs=1):
+        """Run several approaches under the same constraints.
+
+        ``jobs>1`` fans the independent approaches out over worker
+        processes (:mod:`repro.harness.parallel`); ``jobs=1`` keeps the
+        historical serial loop.  Result order always follows ``names``.
+        """
+        if jobs == 1:
+            return [self.run_approach(name, relative_constraints) for name in names]
+        from .parallel import ExperimentCell, run_cells
+
+        cells = [ExperimentCell(name, relative_constraints) for name in names]
+        return [outcome.result for outcome in run_cells(self, cells, jobs=jobs)]

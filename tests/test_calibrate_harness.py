@@ -154,3 +154,31 @@ class TestExperimentRunner:
     def test_variant_approaches_resolve(self, runner):
         without = runner.run_approach("iShare (w/o unshare)", {0: 1.0, 1: 1.0})
         assert without.optimization.approach == "iShare (w/o unshare)"
+
+
+class TestOptimizerConfigReplace:
+    def test_override_single_field(self):
+        base = OptimizerConfig(max_pace=12)
+        clone = base.replace(max_pace=4)
+        assert clone.max_pace == 4
+        assert base.max_pace == 12  # original untouched
+        assert clone is not base
+
+    def test_unmentioned_fields_carry_over(self):
+        stream = StreamConfig(work_rate=500.0)
+        base = OptimizerConfig(max_pace=8, stream_config=stream)
+        clone = base.replace(max_pace=3)
+        assert clone.stream_config is stream
+        for name, value in base.__dict__.items():
+            if name != "max_pace":
+                assert clone.__dict__[name] == value
+
+    def test_no_overrides_returns_equal_copy(self):
+        base = OptimizerConfig()
+        clone = base.replace()
+        assert clone is not base
+        assert clone.__dict__ == base.__dict__
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError, match="unknown OptimizerConfig field"):
+            OptimizerConfig().replace(turbo_mode=True)

@@ -8,7 +8,11 @@ from hypothesis import given, settings, strategies as st
 from repro.engine.buffers import Buffer
 from repro.engine.compare import assert_results_close, normalize_rows, results_close
 from repro.engine.executor import PlanExecutor, query_result_view
-from repro.engine.metrics import MissedLatencySummary, missed_latency
+from repro.engine.metrics import (
+    ZERO_GOAL_RELATIVE_MISS,
+    MissedLatencySummary,
+    missed_latency,
+)
 from repro.engine.stream import StreamConfig, TableStream, execution_fractions
 from repro.errors import ExecutionError
 from repro.mqo.merge import MQOOptimizer, build_blocking_cut_plan, build_unshared_plan
@@ -204,10 +208,23 @@ class TestMissedLatency:
     def test_no_miss_clamps_to_zero(self):
         assert missed_latency(5.0, 10.0) == (0.0, 0.0)
 
-    def test_zero_goal_guard(self):
+    def test_zero_goal_with_positive_latency_is_fully_missed(self):
+        # regression: this used to report relative 0.0 -- a "perfect"
+        # score for a goal that was missed by an unbounded factor
         absolute, relative = missed_latency(5.0, 0.0)
         assert absolute == 5.0
-        assert relative == 0.0
+        assert relative == ZERO_GOAL_RELATIVE_MISS
+
+    def test_zero_goal_met_exactly_is_zero_miss(self):
+        assert missed_latency(0.0, 0.0) == (0.0, 0.0)
+
+    def test_zero_goal_miss_dominates_summary_maximum(self):
+        summary = MissedLatencySummary()
+        summary.add(12.0, 10.0)
+        summary.add(5.0, 0.0)
+        _, _, max_pct, max_sec = summary.row()
+        assert max_pct == pytest.approx(ZERO_GOAL_RELATIVE_MISS * 100.0)
+        assert max_sec == pytest.approx(5.0)
 
     def test_summary_rows(self):
         summary = MissedLatencySummary()

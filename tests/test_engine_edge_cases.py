@@ -57,6 +57,36 @@ class TestCustomSchedules:
         assert_results_close(run.query_results[0], reference[0])
         assert len(run.records) == 4
 
+    def test_zero_fraction_rejected(self, toy_catalog):
+        query = toy_query_total(toy_catalog, 0)
+        plan = build_unshared_plan(toy_catalog, [query])
+        executor = PlanExecutor(plan)
+        with pytest.raises(ExecutionError, match=r"outside \(0, 1\]"):
+            executor.run_schedule({0: [Fraction(0), Fraction(1)]})
+
+    def test_fraction_above_one_rejected(self, toy_catalog):
+        query = toy_query_total(toy_catalog, 0)
+        plan = build_unshared_plan(toy_catalog, [query])
+        executor = PlanExecutor(plan)
+        with pytest.raises(ExecutionError, match=r"outside \(0, 1\]"):
+            executor.run_schedule({0: [Fraction(1, 2), Fraction(3, 2), Fraction(1)]})
+
+    def test_non_ascending_fractions_rejected(self, toy_catalog):
+        query = toy_query_total(toy_catalog, 0)
+        plan = build_unshared_plan(toy_catalog, [query])
+        executor = PlanExecutor(plan)
+        with pytest.raises(ExecutionError, match="strictly"):
+            executor.run_schedule(
+                {0: [Fraction(1, 2), Fraction(1, 2), Fraction(1)]}
+            )
+
+    def test_missing_subplan_fractions_rejected(self, toy_catalog):
+        query = toy_query_total(toy_catalog, 0)
+        plan = build_unshared_plan(toy_catalog, [query])
+        executor = PlanExecutor(plan)
+        with pytest.raises(ExecutionError, match="no execution fractions"):
+            executor.run_schedule({})
+
     def test_empty_windows_cost_only_overhead(self, toy_catalog):
         query = toy_query_total(toy_catalog, 0)
         plan = build_unshared_plan(toy_catalog, [query])

@@ -5,6 +5,7 @@ import pytest
 from repro.cost.model import _window_bounds
 from repro.cost.stats import perturb_stats
 from repro.engine.calibrate import calibrate_plan
+from repro.engine.stream import StreamConfig
 from repro.mqo.canonical import canonicalize
 from repro.mqo.merge import MQOOptimizer, build_unshared_plan
 from repro.workloads.tpch import build_query, generate_catalog
@@ -152,3 +153,30 @@ class TestTpchQueryShapes:
         node = canonicalize(query.root)
         scanned = {n.payload for n in node.walk() if n.kind == "scan"}
         assert scanned == tables
+
+
+class TestStreamConfigValidation:
+    def test_defaults_are_valid(self):
+        config = StreamConfig()
+        assert config.load_seconds > 0 and config.work_rate > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"load_seconds": 0.0},
+        {"load_seconds": -5.0},
+        {"work_rate": 0.0},
+        {"work_rate": -1.0},
+        {"execution_overhead": -0.1},
+        {"state_factor": -0.3},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamConfig(**kwargs)
+
+    def test_zero_state_factor_and_overhead_allowed(self):
+        config = StreamConfig(execution_overhead=0.0, state_factor=0.0)
+        assert config.state_factor == 0.0
+
+    def test_repr_shows_state_factor_and_compaction(self):
+        text = repr(StreamConfig(state_factor=0.25, compact_buffers=False))
+        assert "state_factor=0.25" in text
+        assert "compact_buffers=False" in text
