@@ -16,12 +16,25 @@ Two environment knobs control the harness layer:
     set to disable the on-disk calibration cache.  By default repeat
     benchmark runs reuse calibrations from ``benchmarks/.calibration-cache``
     (or ``$REPRO_CACHE_DIR``) and skip every reference batch run.
+``REPRO_BENCH_TRACE``
+    set to a directory (or ``1`` for ``benchmarks/results``) to enable
+    observability (docs/OBSERVABILITY.md): each benchmark archives
+    ``<name>.trace.json`` (Chrome trace events), ``<name>.metrics.json``
+    and ``<name>.declog.jsonl`` there, scoped per benchmark.
 """
 
 import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _trace_dir():
+    """Observability output directory, or None when tracing is off."""
+    value = os.environ.get("REPRO_BENCH_TRACE")
+    if not value:
+        return None
+    return RESULTS_DIR if value == "1" else value
 
 
 def bench_jobs():
@@ -53,7 +66,22 @@ _maybe_enable_cache()
 
 def run_and_report(benchmark, name, experiment):
     """Benchmark one experiment driver and report its tables."""
+    trace_dir = _trace_dir()
+    if trace_dir is not None:
+        from repro import obs
+
+        obs.enable(process_name="repro-bench-%s" % name)
+        obs.reset()  # scope the collectors to this benchmark
     result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    if trace_dir is not None:
+        from repro.obs import OBS
+
+        os.makedirs(trace_dir, exist_ok=True)
+        OBS.tracer.export(os.path.join(trace_dir, "%s.trace.json" % name))
+        with open(os.path.join(trace_dir, "%s.metrics.json" % name), "w") as handle:
+            json.dump(OBS.metrics.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        OBS.declog.export(os.path.join(trace_dir, "%s.declog.jsonl" % name))
     text = result.text()
     print()
     print(text)

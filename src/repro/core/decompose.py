@@ -10,12 +10,17 @@ split is rejected, partial decomposition candidates (section 4.3) are
 tried as a fallback.
 """
 
+import logging
+
 from ..cost.memo import PlanCostModel
+from ..obs import OBS
 from ..relational import bitvec
 from .greedy import decrease_paces
 from .partial import partial_cut_candidates
 from .regenerate import apply_split
 from .split import LocalSplitOptimizer
+
+logger = logging.getLogger(__name__)
 
 
 def total_missed_final_work(evaluation, constraints):
@@ -91,6 +96,8 @@ def decompose_full_plan(plan, pace_config, absolute_constraints, max_pace,
     model = cost_model or PlanCostModel(current_plan, cost_config)
     evaluation = model.evaluate(current_paces)
     actions = []
+    declog = OBS.declog if OBS.enabled else None
+    start_us = OBS.tracer.now_us() if OBS.enabled else 0.0
 
     worklist = [
         subplan.sid
@@ -108,13 +115,33 @@ def decompose_full_plan(plan, pace_config, absolute_constraints, max_pace,
             use_brute_force, enable_partial,
         )
         if candidate is None:
+            if declog is not None:
+                declog.log("decompose_reject", sid=sid, reason="no_split")
             continue
         new_plan, new_paces, new_model, new_eval, action = candidate
         if not _improves(new_eval, evaluation, absolute_constraints):
+            if declog is not None:
+                declog.log(
+                    "decompose_reject", sid=sid, reason="not_improving",
+                    kind=action.kind,
+                    work_before=round(evaluation.total_work, 4),
+                    work_after=round(new_eval.total_work, 4),
+                )
             continue
         action.work_before = evaluation.total_work
         action.work_after = new_eval.total_work
         actions.append(action)
+        logger.debug(
+            "decomposition adopted: subplan %d %s, work %.1f -> %.1f",
+            sid, action.kind, action.work_before, action.work_after,
+        )
+        if declog is not None:
+            declog.log(
+                "decompose_adopt", sid=sid, kind=action.kind,
+                partitions=[list(p) for p in action.partitions],
+                work_before=round(action.work_before, 4),
+                work_after=round(action.work_after, 4),
+            )
         current_plan, current_paces = new_plan, new_paces
         model, evaluation = new_model, new_eval
         # newly created shared pieces may decompose further
@@ -126,6 +153,11 @@ def decompose_full_plan(plan, pace_config, absolute_constraints, max_pace,
             and subplan.sid != sid
         ]
         worklist = fresh + [s for s in worklist if s in {p.sid for p in current_plan.subplans}]
+    if OBS.enabled:
+        OBS.tracer.complete("optimize.decompose", start_us, {
+            "adopted": len(actions),
+            "total_work": round(evaluation.total_work, 2),
+        })
     return DecompositionOutcome(current_plan, current_paces, evaluation, model, actions)
 
 

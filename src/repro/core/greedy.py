@@ -18,8 +18,14 @@ all constraints remain satisfied.
 """
 
 from ..errors import OptimizationError
-from .incrementability import constraints_met, incrementability, unmet_queries
+from ..obs import OBS
+from .incrementability import INFINITE, constraints_met, incrementability, unmet_queries
 from .pace import batch_configuration, with_pace
+
+
+def _score_field(score):
+    """JSON-safe incrementability value (infinity degrades to a string)."""
+    return "inf" if score == INFINITE else round(score, 6)
 
 
 class PaceSearchResult:
@@ -74,54 +80,116 @@ class PaceSearch:
             )
 
     def _candidate(self, pace_config, group_index):
-        """The neighbouring config with ``group``'s pace raised, or None."""
+        """``(config, None)`` with ``group``'s pace raised, or ``(None, reason)``."""
         group = self.groups[group_index]
         candidate = dict(pace_config)
         for sid in group:
             new_pace = candidate[sid] + 1
             if new_pace > self.max_pace:
-                return None
+                return None, "at_max_pace"
             candidate[sid] = new_pace
         for sid in group:
             for child_sid in self._children[sid]:
                 if candidate[child_sid] < candidate[sid]:
-                    return None
-        return candidate
+                    return None, "parent_order"
+        return candidate, None
 
     def find(self, initial=None):
         """Run the greedy loop; returns a :class:`PaceSearchResult`."""
         pace_config = dict(initial) if initial else batch_configuration(self.plan)
         evaluation = self.cost_model.evaluate(pace_config)
         iterations = 0
+        declog = OBS.declog if OBS.enabled else None
+        start_us = OBS.tracer.now_us() if OBS.enabled else 0.0
         while True:
             if constraints_met(evaluation, self.constraints):
-                return PaceSearchResult(pace_config, evaluation, iterations, True)
+                return self._finish(
+                    pace_config, evaluation, iterations, True, declog, start_us
+                )
             if all(pace_config[sid] >= self.max_pace for sid in pace_config):
-                return PaceSearchResult(pace_config, evaluation, iterations, False)
+                return self._finish(
+                    pace_config, evaluation, iterations, False, declog, start_us
+                )
             unmet = unmet_queries(evaluation, self.constraints)
             unmet_mask = 0
             for qid in unmet:
                 unmet_mask |= 1 << qid
             best = None
+            best_index = None
+            candidates = []  # (index, score, extra) of evaluated neighbours
+            skipped = {"met_queries": 0, "at_max_pace": 0, "parent_order": 0}
             for index in range(len(self.groups)):
                 # only eagerness that can still help an unmet query is
                 # worth buying; groups whose queries all meet their
                 # constraints are left at their current pace
                 if not self._group_queries[index] & unmet_mask:
+                    skipped["met_queries"] += 1
                     continue
-                candidate = self._candidate(pace_config, index)
+                candidate, reason = self._candidate(pace_config, index)
                 if candidate is None:
+                    skipped[reason] += 1
                     continue
                 candidate_eval = self.cost_model.evaluate(candidate)
                 inc = incrementability(candidate_eval, evaluation, self.constraints)
                 extra = candidate_eval.total_work - evaluation.total_work
                 score = (inc, -extra)
+                if declog is not None:
+                    candidates.append((index, score, extra))
                 if best is None or score > best[0]:
                     best = (score, candidate, candidate_eval)
+                    best_index = index
             if best is None:
-                return PaceSearchResult(pace_config, evaluation, iterations, False)
-            _, pace_config, evaluation = best
+                if declog is not None:
+                    declog.log(
+                        "pace_exhausted", iteration=iterations,
+                        unmet_queries=list(unmet), skipped=dict(skipped),
+                    )
+                return self._finish(
+                    pace_config, evaluation, iterations, False, declog, start_us
+                )
+            score, pace_config, evaluation = best
             iterations += 1
+            if declog is not None:
+                self._log_move(
+                    declog, iterations, best_index, score, pace_config,
+                    evaluation, unmet, candidates, skipped,
+                )
+
+    def _log_move(self, declog, iteration, group_index, score, pace_config,
+                  evaluation, unmet, candidates, skipped):
+        """One accepted ascending move plus its outscored alternatives."""
+        group = self.groups[group_index]
+        for index, cand_score, extra in candidates:
+            if index == group_index:
+                continue
+            declog.log(
+                "pace_reject", iteration=iteration, reason="outscored",
+                group=list(self.groups[index]),
+                incrementability=_score_field(cand_score[0]),
+                extra_work=round(extra, 4),
+            )
+        declog.log(
+            "pace_move", iteration=iteration, group=list(group),
+            pace=pace_config[group[0]],
+            incrementability=_score_field(score[0]),
+            extra_work=round(-score[1], 4),
+            total_work=round(evaluation.total_work, 4),
+            unmet_queries=list(unmet), skipped=dict(skipped),
+        )
+
+    def _finish(self, pace_config, evaluation, iterations, met, declog, start_us):
+        if declog is not None:
+            declog.log(
+                "pace_search_done", iterations=iterations, met=met,
+                total_work=round(evaluation.total_work, 4),
+                paces=dict(pace_config),
+            )
+        if OBS.enabled:
+            OBS.tracer.complete("optimize.pace_search", start_us, {
+                "iterations": iterations, "met": met,
+                "groups": len(self.groups),
+            })
+        return PaceSearchResult(pace_config, evaluation, iterations, met)
 
 
 def decrease_paces(cost_model, constraints, initial, keep_met=True):
@@ -142,6 +210,7 @@ def decrease_paces(cost_model, constraints, initial, keep_met=True):
     pace_config = dict(initial)
     evaluation = cost_model.evaluate(pace_config)
     initially_met = constraints_met(evaluation, constraints)
+    declog = OBS.declog if OBS.enabled else None
     while True:
         best = None
         for subplan in plan.subplans:
@@ -173,7 +242,20 @@ def decrease_paces(cost_model, constraints, initial, keep_met=True):
             inc = incrementability(evaluation, candidate_eval, constraints)
             score = (inc, -saved)
             if best is None or score < best[0]:
-                best = (score, candidate, candidate_eval)
+                best = (score, candidate, candidate_eval, sid)
         if best is None:
+            if declog is not None:
+                declog.log(
+                    "pace_decrease_done",
+                    total_work=round(evaluation.total_work, 4),
+                    paces=dict(pace_config),
+                )
             return pace_config, evaluation
-        _, pace_config, evaluation = best
+        score, pace_config, evaluation, moved_sid = best
+        if declog is not None:
+            declog.log(
+                "pace_decrease", sid=moved_sid, pace=pace_config[moved_sid],
+                incrementability=_score_field(score[0]),
+                work_saved=round(-score[1], 4),
+                total_work=round(evaluation.total_work, 4),
+            )

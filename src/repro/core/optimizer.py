@@ -18,6 +18,7 @@ For apples-to-apples comparisons all approaches should receive the same
 otherwise each computes its own from its calibrated statistics.
 """
 
+import logging
 import time
 
 from ..cost.memo import PlanCostModel
@@ -25,8 +26,11 @@ from ..cost.model import CostConfig
 from ..engine.calibrate import calibrate_plan
 from ..engine.stream import StreamConfig
 from ..mqo.merge import MQOOptimizer, build_blocking_cut_plan, build_unshared_plan
+from ..obs import OBS
 from .decompose import decompose_full_plan
 from .greedy import PaceSearch
+
+logger = logging.getLogger(__name__)
 
 
 class OptimizerConfig:
@@ -93,6 +97,21 @@ class OptimizationResult:
         )
 
 
+def _report(result):
+    """Shared logging/metrics epilogue of every optimizer."""
+    logger.info(
+        "%s optimized in %.3fs: est. total work %.1f, %d subplans",
+        result.approach, result.optimization_seconds,
+        result.evaluation.total_work, len(result.plan.subplans),
+    )
+    if OBS.enabled:
+        OBS.metrics.counter("optimizer.runs", approach=result.approach).inc()
+        OBS.metrics.histogram("optimizer.seconds").observe(
+            result.optimization_seconds
+        )
+    return result
+
+
 def _prepare(plan, config):
     """Calibrate a plan's statistics and build its cost model."""
     calibrate_plan(plan, config.stream_config)
@@ -139,11 +158,11 @@ def optimize_noshare_uniform(catalog, queries, relative_constraints, config,
     search = PaceSearch(cost_model, constraints, config.max_pace)
     result = search.find()
     elapsed = time.monotonic() - start
-    return OptimizationResult(
+    return _report(OptimizationResult(
         "NoShare-Uniform", plan, result.pace_config, result.evaluation,
         cost_model, constraints, elapsed,
         {"iterations": result.iterations, "met": result.met_constraints},
-    )
+    ))
 
 
 def optimize_noshare_nonuniform(catalog, queries, relative_constraints, config,
@@ -158,11 +177,11 @@ def optimize_noshare_nonuniform(catalog, queries, relative_constraints, config,
     search = PaceSearch(cost_model, constraints, config.max_pace)
     result = search.find()
     elapsed = time.monotonic() - start
-    return OptimizationResult(
+    return _report(OptimizationResult(
         "NoShare-Nonuniform", plan, result.pace_config, result.evaluation,
         cost_model, constraints, elapsed,
         {"iterations": result.iterations, "met": result.met_constraints},
-    )
+    ))
 
 
 def optimize_share_uniform(catalog, queries, relative_constraints, config,
@@ -178,12 +197,12 @@ def optimize_share_uniform(catalog, queries, relative_constraints, config,
     search = PaceSearch(cost_model, constraints, config.max_pace, groups=groups)
     result = search.find()
     elapsed = time.monotonic() - start
-    return OptimizationResult(
+    return _report(OptimizationResult(
         "Share-Uniform", plan, result.pace_config, result.evaluation,
         cost_model, constraints, elapsed,
         {"iterations": result.iterations, "met": result.met_constraints,
          "components": len(groups)},
-    )
+    ))
 
 
 def _component_groups(plan):
@@ -235,7 +254,7 @@ def optimize_ishare(catalog, queries, relative_constraints, config,
     name = "iShare" if config.enable_unshare else "iShare (w/o unshare)"
     if config.brute_force_split and config.enable_unshare:
         name = "iShare (Brute-Force)"
-    return OptimizationResult(
+    return _report(OptimizationResult(
         name, plan_out, paces_out, eval_out, model_out, constraints,
         elapsed, diagnostics,
-    )
+    ))

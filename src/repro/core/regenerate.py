@@ -18,6 +18,7 @@ search then corrects.
 
 from ..errors import OptimizationError
 from ..mqo.nodes import SharedQueryPlan, Subplan, SubplanRef
+from ..obs import OBS
 from ..relational import bitvec
 
 
@@ -40,7 +41,10 @@ def apply_split(plan, old_paces, target_sid, partitions):
     work = plan.clone()
     initial_paces = dict(old_paces)
     state = _RewriteState(work, initial_paces)
-    state.split(work.subplan_by_id(target_sid), [tuple(part) for part in partitions])
+    state.split(
+        work.subplan_by_id(target_sid), [tuple(part) for part in partitions],
+        reason="decomposition",
+    )
     _merge_single_consumer_chains(work, initial_paces)
     new_plan = SharedQueryPlan(work.catalog, work.subplans, work.query_roots, work.queries)
     return new_plan, initial_paces
@@ -53,11 +57,17 @@ class _RewriteState:
         self.work = work
         self.initial_paces = initial_paces
 
-    def split(self, subplan, partitions):
+    def split(self, subplan, partitions, reason="parent_subsumption"):
         """Split ``subplan`` along ``partitions``; returns aligned pieces."""
         work = self.work
         parents = work.parents_of(subplan)
         inherited_pace = self.initial_paces.pop(subplan.sid)
+        if OBS.enabled:
+            OBS.declog.log(
+                "repair_split", sid=subplan.sid, reason=reason,
+                partitions=[list(part) for part in partitions],
+                inherited_pace=inherited_pace,
+            )
 
         pieces = []
         for part in partitions:
@@ -140,6 +150,11 @@ def _merge_single_consumer_chains(work, initial_paces):
             work.subplans.remove(child)
             child_pace = initial_paces.pop(child.sid)
             initial_paces[parent.sid] = max(initial_paces[parent.sid], child_pace)
+            if OBS.enabled:
+                OBS.declog.log(
+                    "repair_merge", child_sid=child.sid, parent_sid=parent.sid,
+                    merged_pace=initial_paces[parent.sid],
+                )
             changed = True
             break
 

@@ -22,6 +22,7 @@ Both the greedy clustering and the exponential brute-force splitter
 """
 
 from ..cost.model import simulate_subplan
+from ..obs import OBS
 
 
 class SplitDecision:
@@ -120,6 +121,7 @@ class LocalSplitOptimizer:
 
     def cluster(self):
         """Bottom-up clustering by maximal positive sharing benefit."""
+        declog = OBS.declog if OBS.enabled else None
         partitions = [(qid,) for qid in self.queries]
         selected = {part: self.selected_pace(part, 1) for part in partitions}
         pairs = 0
@@ -143,19 +145,45 @@ class LocalSplitOptimizer:
                     if either_feasible and not self.is_feasible(
                         merged, merged_sel[0]
                     ):
+                        if declog is not None:
+                            declog.log(
+                                "cluster_reject", sid=self.subplan.sid,
+                                left=list(part_i), right=list(part_j),
+                                sharing_benefit=round(gain, 4),
+                                reason="merged_infeasible",
+                            )
                         continue
                     if best is None or gain > best[0]:
                         best = (gain, i, j, merged, merged_sel)
             if best is None:
                 break
-            _, i, j, merged, merged_sel = best
+            gain, i, j, merged, merged_sel = best
+            if declog is not None:
+                declog.log(
+                    "cluster_merge", sid=self.subplan.sid,
+                    left=list(partitions[i]), right=list(partitions[j]),
+                    sharing_benefit=round(gain, 4),
+                    selected_pace=merged_sel[0],
+                )
             removed = {partitions[i], partitions[j]}
             partitions = [p for p in partitions if p not in removed]
             partitions.append(merged)
             selected[merged] = merged_sel
         result = [(part, selected[part][0]) for part in partitions]
         total = sum(selected[part][1] for part in partitions)
-        return SplitDecision(result, total, pairs)
+        decision = SplitDecision(result, total, pairs)
+        self._log_decision(declog, decision, "cluster")
+        return decision
+
+    def _log_decision(self, declog, decision, method):
+        if declog is not None:
+            declog.log(
+                "split_decision", sid=self.subplan.sid, method=method,
+                partitions=[(list(p), r) for p, r in decision.partitions],
+                local_total_work=round(decision.local_total_work, 4),
+                pairs_evaluated=decision.pairs_evaluated,
+                is_split=decision.is_split(),
+            )
 
     # -- exhaustive splitter (the Brute-force baseline) -------------------------
 
@@ -181,6 +209,7 @@ class LocalSplitOptimizer:
                 entries.append((part, pace))
             if best is None or total < best.local_total_work:
                 best = SplitDecision(entries, total, count)
+        self._log_decision(OBS.declog if OBS.enabled else None, best, "brute_force")
         return best
 
 

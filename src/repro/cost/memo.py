@@ -19,6 +19,7 @@ import time
 
 from ..errors import CostModelError
 from ..mqo.nodes import SubplanRef, TableRef
+from ..obs import OBS
 from .model import DEFAULT_COST_CONFIG, UniformProfile, simulate_subplan
 from .stats import EdgeStat
 
@@ -132,12 +133,23 @@ class PlanCostModel:
         """Estimate ``C_T(P)`` and ``C_F(P, q)`` for every query."""
         self._check_deadline()
         self.evaluation_count += 1
+        metrics = OBS.metrics if OBS.enabled else None
+        if metrics is not None:
+            metrics.counter("cost.evaluations").inc()
+            if self._deadline is not None:
+                metrics.gauge("cost.deadline_headroom_seconds").set(
+                    round(self._deadline - time.monotonic(), 4)
+                )
         evaluation = CostEvaluation()
         outputs = {}
         for subplan in self._order:
             key = tuple(pace_config[sid] for sid in self._descendants[subplan.sid])
             memo = self._memo[subplan.sid]
             cached = memo.get(key) if self.use_memo else None
+            if metrics is not None:
+                metrics.counter(
+                    "cost.memo.hit" if cached is not None else "cost.memo.miss"
+                ).inc()
             if cached is None:
                 inputs = self._inputs_for(subplan, outputs)
                 sim = simulate_subplan(

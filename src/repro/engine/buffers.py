@@ -8,6 +8,8 @@ processed, so parents with different paces independently drain the same
 buffer (paper section 2.2).
 """
 
+from ..obs import OBS
+
 
 class Buffer:
     """An append-only delta log."""
@@ -20,6 +22,10 @@ class Buffer:
 
     def append(self, deltas):
         self.deltas.extend(deltas)
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "engine.buffer.occupancy", buffer=self.name
+            ).set(len(self.deltas))
 
     def __len__(self):
         return len(self.deltas)

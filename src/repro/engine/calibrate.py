@@ -13,11 +13,16 @@ the same plan structure, table content and stream configuration replays
 the stored statistics instead of executing the batch run.
 """
 
+import logging
+
 from ..cost import cache as calibration_cache
 from ..cost.stats import NodeStats
+from ..obs import OBS
 from ..physical.operators import AggregateExec, JoinExec, SourceExec
 from .executor import PlanExecutor
 from .stream import StreamConfig
+
+logger = logging.getLogger(__name__)
 
 #: count of *actual* calibration batch executions in this process (cache
 #: replays do not increment it); tests assert warm runs leave it untouched
@@ -87,6 +92,7 @@ def calibrate_plan(plan, stream_config=None, cache=None):
     stream_config = stream_config or StreamConfig()
     if cache is None:
         cache = calibration_cache.get_default_cache()
+    start_us = OBS.tracer.now_us() if OBS.enabled else 0.0
     key = None
     if cache is not None:
         key = cache.key_for(plan, stream_config)
@@ -94,12 +100,33 @@ def calibrate_plan(plan, stream_config=None, cache=None):
         if payload is not None:
             result = _replay_cached(plan, stream_config, payload)
             if result is not None:
+                logger.debug("calibration replayed from cache (key %s)", key[:12])
+                if OBS.enabled:
+                    OBS.metrics.counter("calibration.replays").inc()
+                    OBS.tracer.complete(
+                        "engine.calibrate", start_us,
+                        {"cached": True, "subplans": len(plan.subplans)},
+                    )
                 return result
+            # present but not applicable to this plan: a stale entry
+            if OBS.enabled:
+                OBS.metrics.counter("calibration.cache.invalidation").inc()
 
     executor = PlanExecutor(plan, stream_config, stats_mode=True)
     paces = {subplan.sid: 1 for subplan in plan.subplans}
     run = executor.run(paces, collect_results=False)
     _execution_count[0] += 1
+    logger.debug(
+        "calibration batch run: %d subplans, total work %.1f",
+        len(plan.subplans), run.total_work,
+    )
+    if OBS.enabled:
+        OBS.metrics.counter("calibration.batch_runs").inc()
+        OBS.tracer.complete(
+            "engine.calibrate", start_us,
+            {"cached": False, "subplans": len(plan.subplans),
+             "total_work": round(run.total_work, 2)},
+        )
 
     for unit in executor.compiled.values():
         _collect_stats(unit.root_exec)

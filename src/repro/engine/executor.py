@@ -17,6 +17,7 @@ from fractions import Fraction
 
 from ..errors import ExecutionError
 from ..mqo.nodes import SubplanRef, TableRef
+from ..obs import OBS
 from ..physical.operators import AggregateExec, JoinExec, SourceExec
 from ..physical.work import WorkMeter
 from ..relational.tuples import consolidate
@@ -184,6 +185,7 @@ class PlanExecutor:
             pace_config = {sid: len(points) for sid, points in fractions.items()}
         result = RunResult(pace_config, self.stream_config)
         overhead = self.stream_config.execution_overhead
+        run_start_us = OBS.tracer.now_us() if OBS.enabled else 0.0
         for fraction in sorted(schedule):
             for name, stream in table_streams.items():
                 new_deltas = stream.deltas_until(fraction)
@@ -194,11 +196,22 @@ class PlanExecutor:
                 if subplan.sid not in due:
                     continue
                 unit = compiled[subplan.sid]
-                work, latency_work, out = unit.run_execution(overhead)
+                if OBS.enabled:
+                    work, latency_work, out = _observed_execution(
+                        unit, overhead, fraction
+                    )
+                else:
+                    work, latency_work, out = unit.run_execution(overhead)
                 record = ExecutionRecord(
                     subplan.sid, fraction, work, len(out), latency_work
                 )
                 result.add_record(record, is_final=(fraction == one))
+        if OBS.enabled:
+            OBS.tracer.complete("engine.run", run_start_us, {
+                "subplans": len(order),
+                "executions": len(result.records),
+                "total_work": round(result.total_work, 2),
+            })
 
         for qid, root in self.plan.query_roots.items():
             final = sum(
@@ -223,6 +236,37 @@ class PlanExecutor:
                         "parent subplan %d pace %d exceeds child %d pace %d"
                         % (subplan.sid, pace, child.sid, pace_config[child.sid])
                     )
+
+
+def _observed_execution(unit, overhead, fraction):
+    """One incremental execution under a span, with WorkMeter delta metrics.
+
+    Only called when observability is enabled; the disabled hot path calls
+    ``unit.run_execution`` directly behind a single guard check.
+    """
+    meter = unit.meter
+    before_in = meter.input_units
+    before_out = meter.output_units
+    before_rescan = meter.rescan_units
+    before_state = meter.state_units
+    sid = unit.subplan.sid
+    span = OBS.tracer.span("engine.execute", sid=sid, fraction=str(fraction))
+    with span:
+        work, latency_work, out = unit.run_execution(overhead)
+        span.set(work=round(work, 2), outputs=len(out))
+    metrics = OBS.metrics
+    metrics.counter("engine.executions").inc()
+    metrics.counter("engine.subplan.executions", sid=sid).inc()
+    for kind, delta in (
+        ("input", meter.input_units - before_in),
+        ("output", meter.output_units - before_out),
+        ("rescan", meter.rescan_units - before_rescan),
+        ("state", meter.state_units - before_state),
+    ):
+        if delta:
+            metrics.counter("engine.subplan.work_units", sid=sid, kind=kind).inc(delta)
+    metrics.histogram("engine.execution.work").observe(work)
+    return work, latency_work, out
 
 
 def query_result_view(plan, query_id, root_deltas):

@@ -14,14 +14,24 @@ sweep experiments out over N worker processes (0 = all cores); results
 are identical to the serial run.  Calibration results are cached on disk
 between runs (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro-calibration``); ``--no-cache`` disables that.
+
+Observability (docs/OBSERVABILITY.md): ``--trace FILE`` writes a Chrome
+trace-event JSON (open in Perfetto or chrome://tracing) merging spans
+from the driver and every ``--jobs`` worker; ``--metrics FILE`` writes
+the final counter/gauge/histogram snapshot; ``--decision-log FILE``
+writes the optimizer's decision log as JSON lines; ``--log-level`` turns
+on stderr logging.  Any of the three export flags enables collection.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
 
+from .. import obs
 from ..cost.cache import CalibrationCache, set_default_cache
+from ..obs import OBS
 from . import experiments
 
 EXPERIMENTS = {
@@ -78,6 +88,16 @@ def main(argv=None):
     parser.add_argument("--cache-dir", default=None,
                         help="calibration cache directory (default "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-calibration)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON of the run "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="write the final metrics snapshot as JSON")
+    parser.add_argument("--decision-log", default=None, metavar="FILE",
+                        help="write the optimizer decision log (JSON lines)")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="log the repro logger hierarchy to stderr")
     args = parser.parse_args(argv)
     if args.jobs == 0:
         args.jobs = os.cpu_count() or 1
@@ -86,6 +106,11 @@ def main(argv=None):
         set_default_cache(None)
     else:
         set_default_cache(CalibrationCache(args.cache_dir))
+
+    if args.trace or args.metrics or args.decision_log:
+        obs.enable(process_name="repro-harness")
+    if args.log_level:
+        obs.configure_logging(args.log_level)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -108,6 +133,22 @@ def main(argv=None):
                 )
             )
         print("\n[%s finished in %.1fs]\n" % (name, time.monotonic() - started))
+
+    if OBS.enabled:
+        if args.trace:
+            OBS.tracer.export(args.trace)
+            print("[trace: %d events -> %s]"
+                  % (len(OBS.tracer.events), args.trace))
+        if args.metrics:
+            with open(args.metrics, "w") as handle:
+                json.dump(OBS.metrics.snapshot(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print("[metrics -> %s]" % args.metrics)
+        if args.decision_log:
+            OBS.declog.export(args.decision_log)
+            print("[decision log: %d records -> %s]"
+                  % (len(OBS.declog.records), args.decision_log))
     return 0
 
 

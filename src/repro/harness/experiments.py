@@ -18,6 +18,7 @@ from ..engine.executor import PlanExecutor
 from ..engine.stream import StreamConfig
 from ..mqo.merge import MQOOptimizer, build_unshared_plan
 from ..workloads.constraints import CONSTRAINT_LEVELS, random_constraints, uniform_constraints
+from ..obs import OBS
 from ..workloads.tpch import (
     ALL_QUERY_NAMES,
     SHARING_FRIENDLY,
@@ -87,6 +88,37 @@ def _total_seconds_table(result, title, rows_by_label):
     result.add_table(headers, rows, title)
 
 
+def _run_sweep(runner, cells, jobs):
+    """Run a sweep's cells; returns ``(outcomes, by_key, wall_seconds)``."""
+    started = time.monotonic()
+    outcomes = run_cells(runner, cells, jobs=jobs)
+    wall_seconds = time.monotonic() - started
+    by_key = {outcome.key: outcome for outcome in outcomes}
+    return outcomes, by_key, wall_seconds
+
+
+def _accumulate_missed(missed_all, name, approach):
+    """Fold one approach run's missed latencies into the sweep totals."""
+    if missed_all[name] is None:
+        missed_all[name] = approach.missed
+    else:
+        missed_all[name].absolute.extend(approach.missed.absolute)
+        missed_all[name].relative.extend(approach.missed.relative)
+
+
+def _attach_observability(result):
+    """Copy the current metrics snapshot into ``result.data`` (if enabled)."""
+    if OBS.enabled:
+        result.data["metrics"] = OBS.metrics.snapshot()
+    return result
+
+
+def _finish_sweep(result, outcomes, jobs, wall_seconds):
+    """Shared sweep epilogue: timing block + observability metrics."""
+    result.data["timings"] = timing_report(outcomes, jobs, wall_seconds)
+    return _attach_observability(result)
+
+
 # -- Figure 9: random relative constraints -------------------------------------
 
 def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
@@ -107,21 +139,14 @@ def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
         for seed in seeds
         for name in APPROACHES
     ]
-    started = time.monotonic()
-    outcomes = run_cells(runner, cells, jobs=jobs)
-    wall_seconds = time.monotonic() - started
-    by_key = {outcome.key: outcome for outcome in outcomes}
+    outcomes, by_key, wall_seconds = _run_sweep(runner, cells, jobs)
     for seed in seeds:
         approach_results = {}
         for name in APPROACHES:
             approach = by_key[(seed, name)].result
             approach_results[name] = approach
             totals[name].append(approach.total_seconds)
-            if missed_all[name] is None:
-                missed_all[name] = approach.missed
-            else:
-                missed_all[name].absolute.extend(approach.missed.absolute)
-                missed_all[name].relative.extend(approach.missed.relative)
+            _accumulate_missed(missed_all, name, approach)
         per_seed.append((seed, approach_results))
     rows = []
     for name in APPROACHES:
@@ -135,8 +160,7 @@ def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
     result.data["totals"] = totals
     result.data["missed"] = missed_all
     result.data["per_seed"] = per_seed
-    result.data["timings"] = timing_report(outcomes, jobs, wall_seconds)
-    return result
+    return _finish_sweep(result, outcomes, jobs, wall_seconds)
 
 
 # -- Figure 10: batch execution of the shared plan -----------------------------
@@ -167,7 +191,7 @@ def fig10(scale=0.5, config=None):
     result.data["ratio"] = ratio
     result.data["unshared"] = unshared_run.total_work
     result.data["shared"] = shared_run.total_work
-    return result
+    return _attach_observability(result)
 
 
 # -- Figures 11/12: uniform relative constraints --------------------------------
@@ -188,26 +212,18 @@ def _uniform_sweep(names, title, scale, max_pace, levels, config, jobs=1):
         for level in levels
         for name in APPROACHES
     ]
-    started = time.monotonic()
-    outcomes = run_cells(runner, cells, jobs=jobs)
-    wall_seconds = time.monotonic() - started
-    by_key = {outcome.key: outcome for outcome in outcomes}
+    outcomes, by_key, wall_seconds = _run_sweep(runner, cells, jobs)
     for level in levels:
         by_approach = {}
         for name in APPROACHES:
             approach = by_key[(level, name)].result
             by_approach[name] = approach
-            if missed_all[name] is None:
-                missed_all[name] = approach.missed
-            else:
-                missed_all[name].absolute.extend(approach.missed.absolute)
-                missed_all[name].relative.extend(approach.missed.relative)
+            _accumulate_missed(missed_all, name, approach)
         rows_by_label.append(("rel=%.1f" % level, by_approach))
     _total_seconds_table(result, "Total execution time (s)", rows_by_label)
     result.data["rows"] = rows_by_label
     result.data["missed"] = missed_all
-    result.data["timings"] = timing_report(outcomes, jobs, wall_seconds)
-    return result
+    return _finish_sweep(result, outcomes, jobs, wall_seconds)
 
 
 def fig11(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1):
@@ -249,7 +265,7 @@ def table1(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
     result.add_section(format_table(MISSED_HEADERS, rows, "Uniform constraints"))
     result.data["random"] = random_result.data["missed"]
     result.data["uniform"] = uniform_missed
-    return result
+    return _attach_observability(result)
 
 
 # -- Figure 13 / Table 2: manually tuned paces -----------------------------------
@@ -281,7 +297,7 @@ def fig13(scale=0.5, max_pace=100, level=0.1, config=None, tuning_rounds=4):
     rows = [missed_latency_row(name, results[name].missed) for name in APPROACHES]
     result.add_section(format_table(MISSED_HEADERS, rows, "Missed latencies"))
     result.data["results"] = results
-    return result
+    return _attach_observability(result)
 
 
 def _tune_paces_measured(runner, name, relative, goals, max_pace,
@@ -385,28 +401,20 @@ def fig14(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
         for level in levels
         for name in names
     ]
-    started = time.monotonic()
-    outcomes = run_cells(runner, cells, jobs=jobs)
-    wall_seconds = time.monotonic() - started
-    by_key = {outcome.key: outcome for outcome in outcomes}
+    outcomes, by_key, wall_seconds = _run_sweep(runner, cells, jobs)
     for level in levels:
         row = ["rel=%.1f" % level]
         for name in names:
             approach = by_key[(level, name)].result
             row.append(approach.total_seconds)
-            if missed_all[name] is None:
-                missed_all[name] = approach.missed
-            else:
-                missed_all[name].absolute.extend(approach.missed.absolute)
-                missed_all[name].relative.extend(approach.missed.relative)
+            _accumulate_missed(missed_all, name, approach)
         rows.append(row)
     result.add_section(format_table(headers, rows, "Total execution time (s)"))
     rows = [missed_latency_row(name, missed_all[name]) for name in names]
     result.add_section(format_table(MISSED_HEADERS, rows, "Missed latencies (Table 3)"))
     result.data["missed"] = missed_all
     result.data["rows"] = rows
-    result.data["timings"] = timing_report(outcomes, jobs, wall_seconds)
-    return result
+    return _finish_sweep(result, outcomes, jobs, wall_seconds)
 
 
 # -- Figure 15: optimization overhead / memoization --------------------------------
@@ -449,7 +457,7 @@ def fig15(scale=0.35, max_paces=(10, 25, 50, 100), level=0.01, config=None,
         )
     )
     result.data["rows"] = rows
-    return result
+    return _attach_observability(result)
 
 
 # -- Figure 16: clustering vs brute-force splitting ---------------------------------
@@ -499,7 +507,7 @@ def fig16(scale=0.35, max_pace=100, query_counts=(2, 3, 4, 5, 6, 7), config=None
                      "Split-search time")
     )
     result.data["rows"] = rows
-    return result
+    return _attach_observability(result)
 
 
 # -- Figure 17: incrementability micro-benchmarks ------------------------------------
@@ -537,11 +545,9 @@ def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1
             for level in levels
             for name in APPROACHES
         ]
-        started = time.monotonic()
-        outcomes = run_cells(runner, cells, jobs=jobs)
-        wall_seconds += time.monotonic() - started
+        outcomes, by_key, pair_wall = _run_sweep(runner, cells, jobs)
+        wall_seconds += pair_wall
         all_outcomes.extend(outcomes)
-        by_key = {outcome.key: outcome for outcome in outcomes}
         rows_by_label = [
             (
                 "rel=%.1f" % level,
@@ -556,8 +562,7 @@ def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1
         ]
         result.add_section(format_table(headers, rows))
         result.data["pairs"][pair_name] = rows_by_label
-    result.data["timings"] = timing_report(all_outcomes, jobs, wall_seconds)
-    return result
+    return _finish_sweep(result, all_outcomes, jobs, wall_seconds)
 
 
 # -- the section 5.2 "simple approach" baseline -----------------------------------
@@ -619,4 +624,4 @@ def two_phase_baseline(scale=0.4, max_pace=100, level=0.1, config=None,
     result.data["rows"] = rows
     result.data["best_two_phase_max_miss"] = best[0]
     result.data["ishare_max_miss"] = ishare.missed.max_percent
-    return result
+    return _attach_observability(result)

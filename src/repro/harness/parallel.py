@@ -20,13 +20,23 @@ Workers inherit the calibration cache directory (if a process-wide cache
 is installed, see :mod:`repro.cost.cache`), so concurrent cells share
 reference calibrations through the on-disk store instead of each paying
 for their own.
+
+When observability is enabled in the driver (:mod:`repro.obs`), it is
+enabled in every worker too: each worker collects its own spans, metrics
+and decisions per cell and ships them back with the cell result; the
+driver absorbs the payloads in *submission* order, and cells are
+statically round-robin-assigned to workers, so the merged trace carries
+every worker process's spans (distinct pids) and the merged
+event/decision sequence is reproducible run to run at a fixed job count.
 """
 
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 
+from .. import obs
 from ..cost import cache as calibration_cache
+from ..obs import OBS, trace
 
 
 class ExperimentCell:
@@ -72,7 +82,7 @@ def resolve_jobs(jobs):
 _WORKER_RUNNER = None
 
 
-def _init_worker(catalog, queries, config, cache_dir):
+def _init_worker(catalog, queries, config, cache_dir, obs_enabled=False):
     """Build this worker's runner once; cells then arrive as tiny tuples."""
     global _WORKER_RUNNER
     from .runner import ExperimentRunner
@@ -81,15 +91,27 @@ def _init_worker(catalog, queries, config, cache_dir):
         calibration_cache.set_default_cache(
             calibration_cache.CalibrationCache(cache_dir)
         )
+    # a forked worker inherits the driver's enabled session (parent pid,
+    # already-collected events) -- always start from a clean slate
+    obs.disable()
+    if obs_enabled:
+        obs.enable(process_name="repro-worker-%d" % os.getpid())
     _WORKER_RUNNER = ExperimentRunner(catalog, queries, config)
 
 
 def _run_cell(index, approach, relative_constraints, pace_override):
     started = time.monotonic()
-    result = _WORKER_RUNNER.run_approach(
-        approach, relative_constraints, pace_override=pace_override
-    )
-    return index, result, time.monotonic() - started
+    with trace.span("harness.cell", index=index, approach=approach):
+        result = _WORKER_RUNNER.run_approach(
+            approach, relative_constraints, pace_override=pace_override
+        )
+    payload = obs.drain_worker_payload()
+    return index, result, time.monotonic() - started, payload
+
+
+def _run_cell_batch(tasks):
+    """Run a statically assigned list of cells in this worker, in order."""
+    return [_run_cell(*task) for task in tasks]
 
 
 # -- driver side ----------------------------------------------------------------
@@ -109,10 +131,12 @@ def run_cells(runner, cells, jobs=1):
         outcomes = []
         for cell in cells:
             started = time.monotonic()
-            result = runner.run_approach(
-                cell.approach, cell.relative_constraints,
-                pace_override=cell.pace_override,
-            )
+            with trace.span("harness.cell", key=str(cell.key),
+                            approach=cell.approach):
+                result = runner.run_approach(
+                    cell.approach, cell.relative_constraints,
+                    pace_override=cell.pace_override,
+                )
             outcomes.append(
                 CellOutcome(cell.key, cell.approach, result,
                             time.monotonic() - started)
@@ -121,12 +145,44 @@ def run_cells(runner, cells, jobs=1):
 
     cache = calibration_cache.get_default_cache()
     cache_dir = cache.cache_dir if cache is not None else None
+    observing = obs.is_enabled()
+    workers = min(jobs, len(cells))
     outcomes = [None] * len(cells)
     with ProcessPoolExecutor(
-        max_workers=min(jobs, len(cells)),
+        max_workers=workers,
         initializer=_init_worker,
-        initargs=(runner.catalog, runner.queries, runner.config, cache_dir),
+        initargs=(runner.catalog, runner.queries, runner.config, cache_dir,
+                  observing),
     ) as pool:
+        if observing:
+            # Static round-robin assignment: worker k owns cells k, k+W,
+            # k+2W, ...  Each worker's warm/cold history -- and therefore
+            # each cell's shipped observability payload -- is then
+            # identical run to run, so the merged event / metric /
+            # decision sequence is deterministic.  Untraced runs keep the
+            # dynamically balanced pool below.
+            tasks = [
+                (index, cell.approach, cell.relative_constraints,
+                 cell.pace_override)
+                for index, cell in enumerate(cells)
+            ]
+            futures = [
+                pool.submit(_run_cell_batch, tasks[k::workers])
+                for k in range(workers)
+            ]
+            completed = {}
+            for future in futures:
+                for index, result, wall_seconds, payload in future.result():
+                    completed[index] = (result, wall_seconds, payload)
+            # absorb in submission order regardless of completion order
+            for index, cell in enumerate(cells):
+                result, wall_seconds, payload = completed[index]
+                outcomes[index] = CellOutcome(
+                    cell.key, cell.approach, result, wall_seconds
+                )
+                obs.absorb_worker_payload(payload)
+            return outcomes
+
         futures = [
             pool.submit(
                 _run_cell, index, cell.approach, cell.relative_constraints,
@@ -135,7 +191,7 @@ def run_cells(runner, cells, jobs=1):
             for index, cell in enumerate(cells)
         ]
         for future in futures:
-            index, result, wall_seconds = future.result()
+            index, result, wall_seconds, payload = future.result()
             cell = cells[index]
             outcomes[index] = CellOutcome(
                 cell.key, cell.approach, result, wall_seconds

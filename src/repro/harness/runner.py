@@ -14,6 +14,8 @@ of the section 5.2 approaches end to end:
 4. compare against the goals into a missed-latency summary.
 """
 
+import logging
+
 from ..core.optimizer import (
     OptimizerConfig,
     optimize_ishare,
@@ -26,6 +28,9 @@ from ..engine.calibrate import calibrate_plan
 from ..engine.executor import PlanExecutor
 from ..engine.metrics import MissedLatencySummary
 from ..mqo.merge import build_unshared_plan
+from ..obs import OBS, trace
+
+logger = logging.getLogger(__name__)
 
 #: canonical approach names, in the paper's presentation order
 APPROACHES = (
@@ -137,19 +142,28 @@ class ExperimentRunner:
         """
         optimizer, overrides = self._optimizer_for(name)
         config = self.config.replace(**overrides) if overrides else self.config
-        absolute = self.absolute_constraints(relative_constraints)
-        optimization = optimizer(
-            self.catalog, self.queries, relative_constraints, config,
-            absolute_constraints=absolute,
-        )
-        pace_config = dict(pace_override) if pace_override else optimization.pace_config
-        executor = PlanExecutor(optimization.plan, self.config.stream_config)
-        run = executor.run(pace_config, collect_results=False)
+        with trace.span("harness.approach", approach=name):
+            absolute = self.absolute_constraints(relative_constraints)
+            optimization = optimizer(
+                self.catalog, self.queries, relative_constraints, config,
+                absolute_constraints=absolute,
+            )
+            pace_config = dict(pace_override) if pace_override else optimization.pace_config
+            executor = PlanExecutor(optimization.plan, self.config.stream_config)
+            run = executor.run(pace_config, collect_results=False)
         goals = self.latency_goals(relative_constraints)
         missed = MissedLatencySummary()
         for qid, goal in goals.items():
             missed.add(run.query_latency_seconds(qid), goal)
-        return ApproachResult(name, optimization, run, goals, missed)
+        result = ApproachResult(name, optimization, run, goals, missed)
+        logger.info(
+            "%s: measured %.2fs total, missed mean %.1f%% / max %.1f%%",
+            name, result.total_seconds,
+            missed.mean_percent, missed.max_percent,
+        )
+        if OBS.enabled:
+            OBS.metrics.counter("harness.approaches", approach=name).inc()
+        return result
 
     def run_all(self, relative_constraints, names=APPROACHES, jobs=1):
         """Run several approaches under the same constraints.

@@ -7,6 +7,11 @@ edges -- for debugging decompositions and documenting plans::
     from repro.mqo.dot import plan_to_dot
     open("plan.dot", "w").write(plan_to_dot(plan))
     # dot -Tsvg plan.dot -o plan.svg
+
+With observability enabled (:mod:`repro.obs`), ``run_annotations`` turns
+a metrics snapshot + pace configuration into per-subplan annotations
+(work units, executions, pace) that ``plan_to_dot`` renders into each
+subplan's cluster label.
 """
 
 from ..relational import bitvec
@@ -34,8 +39,46 @@ def _node_label(node):
     return base
 
 
-def plan_to_dot(plan, title=None):
-    """Render a :class:`~repro.mqo.nodes.SharedQueryPlan` as DOT text."""
+def run_annotations(metrics_snapshot, pace_config=None):
+    """Per-subplan annotations from a metrics snapshot (``repro.obs``).
+
+    Reads the ``engine.subplan.work_units{kind=...,sid=N}`` counters that
+    :class:`~repro.engine.executor.PlanExecutor` records and, when a pace
+    configuration is given, each subplan's pace.  Returns the
+    ``{sid: {label: value}}`` mapping ``plan_to_dot`` accepts.
+    """
+    annotations = {}
+    for key, metric in metrics_snapshot.items():
+        name, _, labels = key.partition("{")
+        if not labels or name not in (
+            "engine.subplan.work_units", "engine.subplan.executions"
+        ):
+            continue
+        fields = dict(
+            part.split("=", 1) for part in labels.rstrip("}").split(",")
+        )
+        sid = int(fields["sid"])
+        entry = annotations.setdefault(sid, {})
+        if name == "engine.subplan.executions":
+            entry["executions"] = "%g" % metric["value"]
+        else:
+            entry["work[%s]" % fields["kind"]] = "%g" % metric["value"]
+    for sid, entry in annotations.items():
+        total = sum(float(v) for k, v in entry.items() if k.startswith("work["))
+        entry["work"] = "%g" % total
+    if pace_config:
+        for sid, pace in pace_config.items():
+            annotations.setdefault(sid, {})["pace"] = str(pace)
+    return annotations
+
+
+def plan_to_dot(plan, title=None, annotations=None):
+    """Render a :class:`~repro.mqo.nodes.SharedQueryPlan` as DOT text.
+
+    ``annotations`` optionally maps subplan sid to a ``{label: value}``
+    dict (see :func:`run_annotations`); matching entries are rendered as
+    an extra line of the subplan's cluster label.
+    """
     lines = ["digraph shared_plan {", '  rankdir="BT";', '  node [shape=box, fontsize=10];']
     if title:
         lines.append('  label="%s";' % title)
@@ -43,11 +86,15 @@ def plan_to_dot(plan, title=None):
     buffer_edges = []
     for subplan in plan.topological_order():
         lines.append('  subgraph "cluster_sp%d" {' % subplan.sid)
-        lines.append(
-            '    label="subplan %d  %s  queries=%s";'
-            % (subplan.sid, subplan.label,
-               bitvec.format_mask(subplan.query_mask))
+        label = 'subplan %d  %s  queries=%s' % (
+            subplan.sid, subplan.label, bitvec.format_mask(subplan.query_mask)
         )
+        extra = (annotations or {}).get(subplan.sid)
+        if extra:
+            label += r"\n" + "  ".join(
+                "%s=%s" % (key, extra[key]) for key in sorted(extra)
+            )
+        lines.append('    label="%s";' % label)
         for node in subplan.root.walk():
             lines.append('    n%d [label="%s"];' % (node.uid, _node_label(node)))
             for child in node.children:

@@ -1,0 +1,79 @@
+"""The optimizer decision log: structured JSON-lines records.
+
+Every consequential choice the optimizer pipeline makes is recorded as
+one dict with an ``event`` kind, a monotonically increasing ``seq``, and
+event-specific fields:
+
+* ``pace_move`` / ``pace_reject`` -- the greedy ascending search's
+  accepted move (with its incrementability score and extra total work)
+  and the evaluated-but-outscored or structurally filtered candidates;
+* ``pace_search_done`` -- termination, with iteration count and whether
+  the constraints were met;
+* ``pace_decrease`` -- one step of the descending correction;
+* ``cluster_merge`` -- one bottom-up clustering merge with its sharing
+  benefit (Eq. 4) and the merged partition's selected pace;
+* ``split_decision`` -- the final partitioning one
+  :class:`~repro.core.split.LocalSplitOptimizer` chose;
+* ``decompose_adopt`` / ``decompose_reject`` -- whether the full-plan
+  walk adopted a candidate decomposition, with estimated work before and
+  after;
+* ``repair_split`` / ``repair_merge`` -- plan-regeneration surgery:
+  parents split along partition boundaries and single-consumer chains
+  merged back.
+
+The log is plain data: consumers filter ``records`` in memory or read
+the exported ``.jsonl`` one object per line.
+"""
+
+import json
+
+
+class DecisionLog:
+    """An append-only list of decision records."""
+
+    def __init__(self):
+        self.records = []
+        self._seq = 0
+
+    def log(self, event, **fields):
+        """Record one decision; returns the record dict."""
+        self._seq += 1
+        record = {"seq": self._seq, "event": event}
+        record.update(fields)
+        self.records.append(record)
+        return record
+
+    def extend(self, records):
+        """Append records from a worker process, re-sequencing them."""
+        for record in records:
+            self._seq += 1
+            merged = dict(record, seq=self._seq)
+            self.records.append(merged)
+
+    def of_event(self, event):
+        """All records of one event kind."""
+        return [r for r in self.records if r["event"] == event]
+
+    def clear(self):
+        self.records = []
+        self._seq = 0
+
+    def export(self, path):
+        """Write the log as JSON lines (one record per line)."""
+        with open(path, "w") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record, default=_jsonify) + "\n")
+        return path
+
+    def __len__(self):
+        return len(self.records)
+
+    def __repr__(self):
+        return "DecisionLog(%d records)" % len(self.records)
+
+
+def _jsonify(value):
+    """Fallback serializer: tuples-of-qids etc. degrade to strings."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)

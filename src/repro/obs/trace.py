@@ -1,0 +1,172 @@
+"""Span tracing with Chrome trace-event JSON export.
+
+A :class:`Tracer` records *complete* events (``ph: "X"``) with
+microsecond timestamps relative to the tracer's start; :meth:`Tracer.export`
+writes the standard ``{"traceEvents": [...]}`` envelope that Perfetto and
+chrome://tracing open directly.
+
+Spans nest via the context manager returned by :meth:`Tracer.span` (or
+the module-level :func:`span` helper bound to the process-wide session),
+and the :func:`traced` decorator wraps whole functions.  When
+observability is disabled, :func:`span` returns a shared no-op context
+manager -- nothing is allocated and no event is recorded.
+
+Worker processes of the parallel harness each run their own tracer
+(with their own pid); the driver merges their event lists in cell
+submission order, so a merged trace shows one coherent timeline per
+process and the *sequence* of event names is deterministic across runs
+at any job count.
+"""
+
+import functools
+import json
+import os
+import time
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **args):
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """An open span; closing it records one complete trace event."""
+
+    __slots__ = ("tracer", "name", "args", "start_us")
+
+    def __init__(self, tracer, name, args):
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+        self.start_us = tracer.now_us()
+
+    def set(self, **args):
+        """Attach (or update) argument values while the span is open."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.tracer.complete(self.name, self.start_us, self.args)
+        return False
+
+
+class Tracer:
+    """An in-memory list of Chrome trace events for one process."""
+
+    def __init__(self, process_name=None, clock=time.perf_counter):
+        self.pid = os.getpid()
+        self._clock = clock
+        self._t0 = clock()
+        self._meta = {
+            "ph": "M", "name": "process_name", "pid": self.pid, "tid": 0,
+            "args": {"name": process_name or ("repro pid=%d" % self.pid)},
+        }
+        self.events = [self._meta]
+        self._seen_meta = {self.pid}
+
+    # -- recording ----------------------------------------------------------
+
+    def now_us(self):
+        """Microseconds since this tracer started."""
+        return (self._clock() - self._t0) * 1e6
+
+    def span(self, name, **args):
+        """Open a span; use as a context manager."""
+        return _Span(self, name, args)
+
+    def complete(self, name, start_us, args=None):
+        """Record a complete ("X") event that started at ``start_us``."""
+        now = self.now_us()
+        self.events.append({
+            "ph": "X", "name": name, "cat": name.partition(".")[0],
+            "pid": self.pid, "tid": 0,
+            "ts": round(start_us, 1), "dur": round(now - start_us, 1),
+            "args": args or {},
+        })
+
+    def instant(self, name, **args):
+        """Record an instant ("i") event at the current time."""
+        self.events.append({
+            "ph": "i", "name": name, "cat": name.partition(".")[0],
+            "pid": self.pid, "tid": 0, "ts": round(self.now_us(), 1),
+            "s": "p", "args": args,
+        })
+
+    # -- merging / export ---------------------------------------------------
+
+    def add_events(self, events):
+        """Append already-recorded events (from a worker process).
+
+        A worker ships its process-metadata event with every drained cell;
+        only the first one per pid is kept so the merged trace stays clean.
+        """
+        for event in events:
+            if event.get("ph") == "M":
+                if event["pid"] in self._seen_meta:
+                    continue
+                self._seen_meta.add(event["pid"])
+            self.events.append(event)
+
+    def drain_events(self):
+        """Return and clear this tracer's events (keeps the metadata event)."""
+        events, self.events = self.events, [self._meta]
+        return events
+
+    def clear(self):
+        self.events = [self._meta]
+        self._seen_meta = {self.pid}
+
+    def chrome_payload(self):
+        """The JSON-safe ``{"traceEvents": [...]}`` envelope."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def export(self, path):
+        """Write the trace to ``path`` as Chrome trace-event JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome_payload(), handle)
+        return path
+
+    def __repr__(self):
+        return "Tracer(pid=%d, %d events)" % (self.pid, len(self.events))
+
+
+# -- process-wide helpers bound to the OBS session --------------------------------
+
+def span(name, **args):
+    """A span on the process-wide tracer, or the shared no-op when disabled."""
+    from . import OBS
+
+    if not OBS.enabled:
+        return NOOP_SPAN
+    return OBS.tracer.span(name, **args)
+
+
+def traced(name):
+    """Decorator: run the function under a span (no-op when disabled)."""
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            from . import OBS
+
+            if not OBS.enabled:
+                return func(*args, **kwargs)
+            with OBS.tracer.span(name):
+                return func(*args, **kwargs)
+        return wrapper
+    return decorate

@@ -56,9 +56,10 @@ class WorkMeter:
         return dict(self.per_operator)
 
     def __repr__(self):
-        return "WorkMeter(in=%d, out=%d, rescan=%d, state=%.0f)" % (
+        return "WorkMeter(in=%d, out=%d, rescan=%d, state=%.2f, total=%.2f)" % (
             self.input_units,
             self.output_units,
             self.rescan_units,
             self.state_units,
+            self.total,
         )
