@@ -1,0 +1,428 @@
+#!/usr/bin/env python
+"""Hot-path engine benchmark: batched vs. per-tuple reference paths.
+
+Measures, for each physical operator class, the delta throughput of the
+batched hot path against the original per-tuple reference path (kept in
+the engine as the switchable correctness oracle), plus the fig11-style
+end-to-end wall clock and the effect of the compiled-artifact cache and
+operator-tree reuse.  Results land in ``BENCH_hotpath.json`` (repo root
+by default; see docs/PERFORMANCE.md for how to read it).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py [--quick]
+        [--output PATH] [--scale S] [--repeat N]
+
+This is a standalone script (not a pytest-benchmark module) so CI can run
+it directly and archive the JSON artifact.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.engine.executor import PlanExecutor  # noqa: E402
+from repro.engine.stream import StreamConfig  # noqa: E402
+from repro.mqo.merge import MQOOptimizer  # noqa: E402
+from repro.mqo.nodes import OpNode, TableRef  # noqa: E402
+from repro.physical.hotpath import clear_compiled_caches, engine_mode  # noqa: E402
+from repro.physical.operators import (  # noqa: E402
+    AggregateExec,
+    JoinExec,
+    SourceExec,
+)
+from repro.physical.work import WorkMeter  # noqa: E402
+from repro.relational.expressions import agg_avg, agg_sum, col  # noqa: E402
+from repro.relational.schema import Schema  # noqa: E402
+from repro.relational.tuples import DELETE, Delta, INSERT, consolidate  # noqa: E402
+from repro.workloads.tpch import (  # noqa: E402
+    ALL_QUERY_NAMES,
+    add_lineitem_updates,
+    build_workload,
+    generate_catalog,
+)
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_hotpath.json"
+)
+
+
+class _Feed:
+    """A scripted child operator (same adapter the unit tests use)."""
+
+    def __init__(self, batches):
+        self._template = batches
+        self.batches = list(batches)
+
+    def advance(self):
+        if not self.batches:
+            return []
+        return self.batches.pop(0)
+
+    def reset(self):
+        self.batches = list(self._template)
+
+
+def _source_node(schema, filters=None, projections=None, mask=0b1111):
+    return OpNode(
+        "source", ref=TableRef("bench", schema), filters=filters,
+        projections=projections, query_mask=mask,
+    )
+
+
+def _timed(fn, repeat):
+    """Best-of-``repeat`` wall time of ``fn()`` (returns seconds)."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _micro_case(make_exec, batches, repeat):
+    """Time one operator over scripted batches in both engine modes.
+
+    ``make_exec(feeds)`` builds a fresh operator tree around the feeds;
+    a fresh tree per timing keeps hash-table/group state comparable.
+    """
+    n_deltas = sum(len(batch) for batch in batches)
+
+    def run_once():
+        exec_op = make_exec()
+        total = 0
+        while True:
+            out = exec_op.advance()
+            total += len(out)
+            if not exec_op._feeds_pending():
+                break
+        return total
+
+    timings = {}
+    for label, mode in (
+        ("batched", dict(batched=True, compile_cache=True)),
+        ("reference", dict(batched=False, compile_cache=False)),
+    ):
+        clear_compiled_caches()
+        with engine_mode(**mode):
+            seconds = _timed(run_once, repeat)
+        timings[label] = {
+            "seconds": seconds,
+            "deltas_per_sec": n_deltas / seconds if seconds > 0 else None,
+        }
+    timings["speedup"] = (
+        timings["reference"]["seconds"] / timings["batched"]["seconds"]
+        if timings["batched"]["seconds"] > 0 else None
+    )
+    timings["input_deltas"] = n_deltas
+    return timings
+
+
+class _Harness:
+    """Wraps an operator plus its feeds so the micro loop can drain it."""
+
+    def __init__(self, exec_op, feeds):
+        self._exec = exec_op
+        self._feeds = feeds
+
+    def advance(self):
+        return self._exec.advance()
+
+    def _feeds_pending(self):
+        return any(feed.batches for feed in self._feeds)
+
+
+def bench_filter_project(n, batches, repeat):
+    schema = Schema.of("a", "b")
+    node = _source_node(
+        schema,
+        filters={0: col("a") > 100, 1: col("a") > 5000, 2: col("b") > 50,
+                 3: col("a") > 0},
+        projections={0: (("s", col("a") + col("b")),)},
+    )
+    per_batch = max(1, n // batches)
+    feed_batches = [
+        [
+            Delta((i * 7 % 10000, i % 100), INSERT, 0b1111)
+            for i in range(b * per_batch, (b + 1) * per_batch)
+        ]
+        for b in range(batches)
+    ]
+
+    # SourceExec reads via reader.read_new(); adapt the feed
+    class _ReaderFeed(_Feed):
+        def read_new(self):
+            return self.advance()
+
+    def make_source():
+        feed = _ReaderFeed(feed_batches)
+        op = SourceExec(node, feed, 0b1111, WorkMeter())
+        return _Harness(op, [feed])
+
+    return _micro_case(make_source, feed_batches, repeat)
+
+
+def bench_join(n, batches, repeat):
+    left_schema = Schema.of("k", "x")
+    right_schema = Schema.of("k2", "y")
+    node = OpNode(
+        "join",
+        children=[
+            _source_node(left_schema, mask=0b11),
+            _source_node(right_schema, mask=0b11),
+        ],
+        left_keys=["k"], right_keys=["k2"], query_mask=0b11,
+    )
+    per_batch = max(1, n // (2 * batches))
+    # moderate key fan-out with low-cardinality payloads: after projection
+    # pushdown a shared join side carries the key plus a few small columns,
+    # so stored slots accumulate net multiplicities > 1 (bag semantics) --
+    # the regime the multiplicity-shared delta expansion is built for
+    n_keys = max(256, n // 32)
+    left_batches = [
+        [
+            Delta((i % n_keys, (i * 7) % 3), INSERT, 0b11 if i % 3 else 0b01)
+            for i in range(b * per_batch, (b + 1) * per_batch)
+        ]
+        for b in range(batches)
+    ]
+    right_batches = [
+        [
+            Delta(((i * 5) % n_keys, -((i * 11) % 3)), INSERT,
+                  0b11 if i % 2 else 0b10)
+            for i in range(b * per_batch, (b + 1) * per_batch)
+        ]
+        for b in range(batches)
+    ]
+
+    def make():
+        left = _Feed(left_batches)
+        right = _Feed(right_batches)
+        op = JoinExec(node, left, right, WorkMeter(), state_factor=0.3)
+        return _Harness(op, [left, right])
+
+    return _micro_case(make, left_batches + right_batches, repeat)
+
+
+def bench_aggregate(n, batches, repeat, with_deletes=True):
+    # six shared queries over one aggregate (the paper's sharing regime)
+    # and a Q1-like group cardinality: few groups, many updates per group
+    mask = 0b111111
+    child_schema = Schema.of("g", "v")
+    node = OpNode(
+        "aggregate",
+        children=[_source_node(child_schema, mask=mask)],
+        group_by=["g"],
+        aggs=[agg_sum(col("v"), "s"), agg_avg(col("v"), "m")],
+        query_mask=mask,
+    )
+    per_batch = max(1, n // batches)
+    n_groups = max(16, n // 600)
+    bit_patterns = (0b111111, 0b010101, 0b001111)
+    feed_batches = []
+    for b in range(batches):
+        batch = []
+        for i in range(b * per_batch, (b + 1) * per_batch):
+            bits = bit_patterns[i % 3]
+            batch.append(Delta((i % n_groups, float(i % 997)), INSERT, bits))
+            if with_deletes and i % 7 == 0 and i >= per_batch:
+                j = i - per_batch
+                bits_j = bit_patterns[j % 3]
+                batch.append(
+                    Delta((j % n_groups, float(j % 997)), DELETE, bits_j)
+                )
+        feed_batches.append(batch)
+
+    def make():
+        feed = _Feed(feed_batches)
+        op = AggregateExec(node, feed, mask, WorkMeter(), state_factor=0.3)
+        return _Harness(op, [feed])
+
+    return _micro_case(make, feed_batches, repeat)
+
+
+def bench_consolidate(n, repeat):
+    deltas = []
+    for i in range(n):
+        row = (i % (n // 4 or 1), "payload-%d" % (i % 50))
+        deltas.append(Delta(row, INSERT, 0b111))
+        if i % 3 == 0:
+            deltas.append(Delta(row, DELETE, 0b111))
+    seconds = _timed(lambda: consolidate(deltas), repeat)
+    return {
+        "input_deltas": len(deltas),
+        "seconds": seconds,
+        "deltas_per_sec": len(deltas) / seconds if seconds > 0 else None,
+    }
+
+
+def bench_end_to_end(scale, repeat):
+    """fig11-shaped run: shared plan over all 22 queries, mixed paces."""
+    catalog = generate_catalog(scale=scale, seed=5)
+    add_lineitem_updates(catalog, fraction=0.05, seed=11)
+    queries = build_workload(catalog, ALL_QUERY_NAMES)
+    plan = MQOOptimizer(catalog).build_shared_plan(queries)
+    paces = {
+        subplan.sid: 2 if subplan.child_subplans() else 6
+        for subplan in plan.subplans
+    }
+    config = StreamConfig()
+
+    results = {}
+    for label, mode in (
+        ("batched", dict(batched=True, compile_cache=True, reuse_trees=True)),
+        ("reference", dict(batched=False, compile_cache=False,
+                           reuse_trees=False)),
+    ):
+        clear_compiled_caches()
+        with engine_mode(**mode):
+            seconds = _timed(
+                lambda: PlanExecutor(plan, config).run(
+                    paces, collect_results=False
+                ),
+                repeat,
+            )
+        results[label] = {"seconds": seconds}
+    results["speedup"] = (
+        results["reference"]["seconds"] / results["batched"]["seconds"]
+        if results["batched"]["seconds"] > 0 else None
+    )
+
+    # compiled-plan reuse: repeated runs on one executor vs fresh executors
+    runs = 4
+    clear_compiled_caches()
+    with engine_mode(batched=True, compile_cache=True, reuse_trees=True):
+        executor = PlanExecutor(plan, config)
+        executor.run(paces, collect_results=False)  # warm the tree
+
+        def reused():
+            for _ in range(runs):
+                executor.run(paces, collect_results=False)
+
+        reused_seconds = _timed(reused, repeat)
+    with engine_mode(batched=True, compile_cache=False, reuse_trees=False):
+        def fresh():
+            for _ in range(runs):
+                clear_compiled_caches()
+                PlanExecutor(plan, config).run(paces, collect_results=False)
+
+        fresh_seconds = _timed(fresh, repeat)
+    results["plan_reuse"] = {
+        "runs": runs,
+        "reused_tree_seconds": reused_seconds,
+        "fresh_executor_seconds": fresh_seconds,
+        "speedup": fresh_seconds / reused_seconds if reused_seconds > 0 else None,
+    }
+    results["workload"] = {
+        "scale": scale,
+        "queries": len(queries),
+        "subplans": len(plan.subplans),
+        "paces": sorted(set(paces.values())),
+    }
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small config for CI smoke runs")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="TPC-H scale for the end-to-end section")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timing repetitions (best-of)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n, batches, repeat, scale = 40_000, 8, 2, 0.05
+    else:
+        n, batches, repeat, scale = 200_000, 10, 3, 0.12
+    if args.scale is not None:
+        scale = args.scale
+    if args.repeat is not None:
+        repeat = args.repeat
+
+    report = {
+        "config": {
+            "quick": bool(args.quick),
+            "micro_deltas": n,
+            "micro_batches": batches,
+            "repeat": repeat,
+            "e2e_scale": scale,
+            "python": sys.version.split()[0],
+        },
+        "micro": {},
+    }
+
+    print("hot-path micro benchmarks (%d deltas, best of %d)" % (n, repeat))
+    for name, runner in (
+        ("filter_project", lambda: bench_filter_project(n, batches, repeat)),
+        ("join", lambda: bench_join(n, batches, repeat)),
+        ("aggregate", lambda: bench_aggregate(n, batches, repeat)),
+        ("aggregate_insert_only",
+         lambda: bench_aggregate(n, batches, repeat, with_deletes=False)),
+    ):
+        case = runner()
+        report["micro"][name] = case
+        print(
+            "  %-22s %9.0f/s batched  %9.0f/s reference  %.2fx"
+            % (
+                name,
+                case["batched"]["deltas_per_sec"],
+                case["reference"]["deltas_per_sec"],
+                case["speedup"],
+            )
+        )
+
+    case = bench_consolidate(n // 2, repeat)
+    report["micro"]["consolidate"] = case
+    print("  %-22s %9.0f/s" % ("consolidate", case["deltas_per_sec"]))
+
+    print("end-to-end fig11 workload (scale %.2f)" % scale)
+    e2e = bench_end_to_end(scale, repeat)
+    report["end_to_end_fig11"] = e2e
+    print(
+        "  wall clock: %.3fs batched  %.3fs reference  %.2fx"
+        % (
+            e2e["batched"]["seconds"],
+            e2e["reference"]["seconds"],
+            e2e["speedup"],
+        )
+    )
+    print(
+        "  plan reuse (%d runs): %.3fs reused  %.3fs fresh  %.2fx"
+        % (
+            e2e["plan_reuse"]["runs"],
+            e2e["plan_reuse"]["reused_tree_seconds"],
+            e2e["plan_reuse"]["fresh_executor_seconds"],
+            e2e["plan_reuse"]["speedup"],
+        )
+    )
+
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % output)
+
+    floor = 2.0
+    agg_speedup = report["micro"]["aggregate"]["speedup"]
+    join_speedup = report["micro"]["join"]["speedup"]
+    if agg_speedup < floor or join_speedup < floor:
+        print(
+            "WARNING: speedup below the %.1fx acceptance floor "
+            "(aggregate %.2fx, join %.2fx)" % (floor, agg_speedup, join_speedup)
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

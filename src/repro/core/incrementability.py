@@ -19,6 +19,11 @@ and incrementability is
 
 INFINITE = float("inf")
 
+#: work-unit differences below this are treated as zero extra work --
+#: dividing by float noise would otherwise rank a no-op configuration as
+#: an astronomically incrementable step
+_EPSILON = 1e-12
+
 
 def bounded_final_work(final_work, constraint):
     """``C'_F``: final work clamped from below by the query's constraint."""
@@ -38,12 +43,15 @@ def benefit(eager_eval, lazy_eval, constraints):
 def incrementability(eager_eval, lazy_eval, constraints):
     """Eq. 2 between a lazier configuration and an eagerer neighbour.
 
-    A non-positive work increase with positive benefit is a free
-    improvement and scores infinite; with zero benefit it scores zero.
+    Degenerate denominators are handled explicitly instead of raising:
+    a non-positive (or float-noise-sized) work increase with positive
+    benefit is a free improvement and scores infinite; with zero benefit
+    it scores zero (also the empty-constraints / empty-plan case, where
+    the benefit sum is vacuously zero).
     """
     gain = benefit(eager_eval, lazy_eval, constraints)
     extra_work = eager_eval.total_work - lazy_eval.total_work
-    if extra_work <= 0:
+    if extra_work <= _EPSILON:
         return INFINITE if gain > 0 else 0.0
     return gain / extra_work
 

@@ -101,8 +101,14 @@ def _window_bounds(index, pace, granularity):
     window boundaries are quantized down to the producer's execution grid.
     ``granularity=None`` means a continuous stream (base-table arrival).
     """
+    if pace < 1:
+        raise ValueError("consumer pace must be >= 1, got %r" % (pace,))
     if granularity is None:
         return (index - 1) / pace, index / pace
+    if granularity < 1:
+        raise ValueError(
+            "producer granularity must be >= 1, got %r" % (granularity,)
+        )
     lo = (index - 1) * granularity // pace
     hi = index * granularity // pace
     return lo / granularity, hi / granularity
@@ -286,6 +292,12 @@ def simulate_subplan(subplan, pace, input_stats, config=None, query_subset=None)
         the subplan's full query set.
     """
     config = config or DEFAULT_COST_CONFIG
+    if pace < 1:
+        # a zero/negative pace would silently simulate zero executions and
+        # report a free subplan; fail loudly instead
+        raise ValueError(
+            "subplan %d pace must be >= 1, got %r" % (subplan.sid, pace)
+        )
     mask_queries = set(subplan.query_ids())
     if query_subset is not None:
         mask_queries &= set(query_subset)
@@ -420,7 +432,9 @@ def simulate_subplan(subplan, pace, input_stats, config=None, query_subset=None)
             # (retract/insert pairs cancel in the multiset).
             groups_hit = expected_touched(universe, child.deletes)
             net_values = max(state.net_union + child.net(), 0.0)
-            values_per_group = net_values / universe
+            # group_universe clamps to >= 1.0, but guard explicitly so a
+            # future stats change cannot reintroduce a division by zero
+            values_per_group = net_values / universe if universe > 0 else 0.0
             charge(config.minmax_rescan_factor * groups_hit * values_per_group)
         state.n_union += n
         state.net_union += child.net()

@@ -1,4 +1,4 @@
-"""Materialization buffers with per-consumer offsets.
+"""Materialization buffers with per-consumer offsets and compaction.
 
 Every subplan whose output is consumed by other subplans materializes its
 deltas into a :class:`Buffer` (the paper uses Kafka topics for this);
@@ -6,19 +6,31 @@ base-relation delta logs are buffers too.  Each consumer holds a
 :class:`BufferReader` that tracks the offset of the deltas it has already
 processed, so parents with different paces independently drain the same
 buffer (paper section 2.2).
+
+Offsets are *logical* and monotone: they count every delta ever appended.
+:meth:`Buffer.compact` drops the already-consumed prefix of the backing
+list (recording the drop in ``base``) so long-running schedules do not
+hold every historical delta live; readers keep working unchanged because
+they index relative to ``base``.  Buffers that must stay fully replayable
+(query-root buffers, which ``query_result_view`` re-reads from offset 0)
+are ``pinned`` and never compacted.
 """
 
+from ..errors import ExecutionError
 from ..obs import OBS
 
 
 class Buffer:
-    """An append-only delta log."""
+    """An append-only delta log with optional prefix compaction."""
 
-    __slots__ = ("name", "deltas")
+    __slots__ = ("name", "deltas", "base", "pinned", "_readers")
 
     def __init__(self, name):
         self.name = name
         self.deltas = []
+        self.base = 0
+        self.pinned = False
+        self._readers = []
 
     def append(self, deltas):
         self.deltas.extend(deltas)
@@ -27,18 +39,55 @@ class Buffer:
                 "engine.buffer.occupancy", buffer=self.name
             ).set(len(self.deltas))
 
+    def end(self):
+        """The logical offset one past the last appended delta."""
+        return self.base + len(self.deltas)
+
     def __len__(self):
-        return len(self.deltas)
+        """Total deltas ever appended (compaction does not shrink this)."""
+        return self.base + len(self.deltas)
 
     def reader(self):
-        return BufferReader(self)
+        reader = BufferReader(self)
+        self._readers.append(reader)
+        return reader
+
+    def compact(self):
+        """Drop the prefix every registered reader has consumed.
+
+        Memory-only: logical offsets, ``len()`` and work accounting are
+        unaffected.  Pinned buffers and buffers nobody reads are left
+        intact (an unread buffer may still gain a late reader, and a
+        pinned one must stay replayable from offset 0).  Returns the
+        number of deltas dropped.
+        """
+        if self.pinned or not self._readers or not self.deltas:
+            return 0
+        horizon = min(reader.offset for reader in self._readers)
+        drop = horizon - self.base
+        if drop <= 0:
+            return 0
+        del self.deltas[:drop]
+        self.base = horizon
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "engine.buffer.compacted_deltas", buffer=self.name
+            ).inc(drop)
+        return drop
+
+    def reset(self):
+        """Empty the log and rewind every registered reader (tree reuse)."""
+        self.deltas.clear()
+        self.base = 0
+        for reader in self._readers:
+            reader.offset = 0
 
     def __repr__(self):
-        return "Buffer(%r, %d deltas)" % (self.name, len(self.deltas))
+        return "Buffer(%r, %d deltas)" % (self.name, len(self))
 
 
 class BufferReader:
-    """A consumer cursor over a :class:`Buffer`."""
+    """A consumer cursor over a :class:`Buffer` (logical offsets)."""
 
     __slots__ = ("buffer", "offset")
 
@@ -48,19 +97,26 @@ class BufferReader:
 
     def read_new(self):
         """All deltas appended since the previous call."""
-        deltas = self.buffer.deltas
-        if self.offset >= len(deltas):
+        buffer = self.buffer
+        start = self.offset - buffer.base
+        if start < 0:
+            raise ExecutionError(
+                "reader of %r is behind the compaction horizon "
+                "(offset %d < base %d)" % (buffer.name, self.offset, buffer.base)
+            )
+        deltas = buffer.deltas
+        if start >= len(deltas):
             return []
-        new = deltas[self.offset:]
-        self.offset = len(deltas)
+        new = deltas[start:]
+        self.offset = buffer.base + len(deltas)
         return new
 
     def remaining(self):
-        return len(self.buffer.deltas) - self.offset
+        return self.buffer.end() - self.offset
 
     def __repr__(self):
         return "BufferReader(%r @ %d/%d)" % (
             self.buffer.name,
             self.offset,
-            len(self.buffer.deltas),
+            self.buffer.end(),
         )

@@ -1,0 +1,156 @@
+"""Hot-path engine configuration and shared compile-time caches.
+
+The incremental engine has two interchangeable execution paths:
+
+* the **batched** path (default) processes whole delta lists per operator
+  with hoisted attribute lookups, pre-bound closures, cached bits->query
+  decodings and multiplicity-shared delta expansion;
+* the **reference** path applies every delta through the original
+  per-tuple calls.
+
+Both paths produce bit-identical :class:`~repro.engine.metrics.RunResult`
+work/latency numbers and identical output delta streams -- the reference
+path exists as the correctness oracle (``tests/test_hotpath_equivalence``)
+and as the baseline of ``benchmarks/bench_engine_hotpath.py``.
+
+Independently toggleable (all default on):
+
+``batched``
+    batched delta application in the physical operators.
+``compile_cache``
+    process-wide reuse of compiled per-node artifacts (predicate and
+    projection closures, join key getters, aggregate input closures)
+    keyed on the node's unique id, so repeated ``PlanExecutor`` builds
+    over the same plan stop re-paying expression compilation.
+``reuse_trees``
+    reuse of a :class:`~repro.engine.executor.PlanExecutor`'s compiled
+    operator tree across ``run()`` calls (state is deterministically
+    reset between runs instead of rebuilt).
+
+Environment overrides (read once at import): ``REPRO_ENGINE_UNBATCHED``,
+``REPRO_ENGINE_NO_COMPILE_CACHE``, ``REPRO_ENGINE_NO_PLAN_REUSE``.
+"""
+
+import os
+from contextlib import contextmanager
+
+
+class EngineMode:
+    """Mutable toggles for the engine's hot-path optimisations."""
+
+    __slots__ = ("batched", "compile_cache", "reuse_trees")
+
+    def __init__(self, batched=True, compile_cache=True, reuse_trees=True):
+        self.batched = bool(batched)
+        self.compile_cache = bool(compile_cache)
+        self.reuse_trees = bool(reuse_trees)
+
+    def __repr__(self):
+        return "EngineMode(batched=%s, compile_cache=%s, reuse_trees=%s)" % (
+            self.batched, self.compile_cache, self.reuse_trees,
+        )
+
+
+#: process-wide engine mode; mutate via :func:`engine_mode` in tests
+HOTPATH = EngineMode(
+    batched=not os.environ.get("REPRO_ENGINE_UNBATCHED"),
+    compile_cache=not os.environ.get("REPRO_ENGINE_NO_COMPILE_CACHE"),
+    reuse_trees=not os.environ.get("REPRO_ENGINE_NO_PLAN_REUSE"),
+)
+
+
+@contextmanager
+def engine_mode(batched=None, compile_cache=None, reuse_trees=None):
+    """Temporarily override :data:`HOTPATH` toggles (tests, benchmarks)."""
+    saved = (HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees)
+    if batched is not None:
+        HOTPATH.batched = bool(batched)
+    if compile_cache is not None:
+        HOTPATH.compile_cache = bool(compile_cache)
+    if reuse_trees is not None:
+        HOTPATH.reuse_trees = bool(reuse_trees)
+    try:
+        yield HOTPATH
+    finally:
+        HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees = saved
+
+
+# -- bits -> query-id decoding cache ----------------------------------------
+#
+# Delta bitvectors repeat heavily (most tuples of a batch carry the same
+# query set), so decoding a mask to its query ids through the iter_bits
+# generator per record is the single hottest per-tuple cost in shared
+# aggregates.  Decodings are memoized per distinct (non-negative) mask.
+
+_QIDS_CACHE = {0: ()}
+_QIDS_LIMIT = 1 << 16
+
+
+def qids_of(bits):
+    """The tuple of query ids set in ``bits`` (must be non-negative).
+
+    Callers mask deltas against a subplan/filter mask first; raw ``~0``
+    bitvectors would not terminate.
+    """
+    cached = _QIDS_CACHE.get(bits)
+    if cached is None:
+        if len(_QIDS_CACHE) >= _QIDS_LIMIT:
+            _QIDS_CACHE.clear()
+            _QIDS_CACHE[0] = ()
+        qids = []
+        mask = bits
+        qid = 0
+        while mask:
+            if mask & 1:
+                qids.append(qid)
+            mask >>= 1
+            qid += 1
+        cached = _QIDS_CACHE[bits] = tuple(qids)
+    return cached
+
+
+# -- compiled per-node artifact cache ---------------------------------------
+#
+# OpNode uids are unique for the lifetime of the process and a node's
+# decorations/keys/schemas are immutable after plan construction, so the
+# compiled closures can be shared by every operator instantiation of the
+# node -- across PlanExecutor builds, across run() calls and across
+# processes' repeated sweep cells.  The cache is bounded: when it fills,
+# it is cleared wholesale (recompilation is cheap relative to a leak).
+
+_ARTIFACTS = {}
+_ARTIFACTS_LIMIT = 4096
+
+#: (hits, misses) counters; surfaced through repro.obs when enabled
+compile_cache_stats = {"hits": 0, "misses": 0}
+
+
+def cached_artifacts(key, builder):
+    """Fetch (or build and memoize) the compiled artifacts of one node.
+
+    ``key`` is a hashable cache key, conventionally ``(kind, node.uid)``
+    so different artifact families of the same node do not collide.
+    ``builder`` is a zero-argument callable producing the artifact object;
+    it runs exactly once per key while the cache holds the entry.  With
+    ``HOTPATH.compile_cache`` off, the builder runs every time.
+    """
+    if not HOTPATH.compile_cache:
+        return builder()
+    artifacts = _ARTIFACTS.get(key)
+    if artifacts is None:
+        if len(_ARTIFACTS) >= _ARTIFACTS_LIMIT:
+            _ARTIFACTS.clear()
+        artifacts = _ARTIFACTS[key] = builder()
+        compile_cache_stats["misses"] += 1
+    else:
+        compile_cache_stats["hits"] += 1
+    return artifacts
+
+
+def clear_compiled_caches():
+    """Drop every memoized artifact and bits decoding (tests)."""
+    _ARTIFACTS.clear()
+    _QIDS_CACHE.clear()
+    _QIDS_CACHE[0] = ()
+    compile_cache_stats["hits"] = 0
+    compile_cache_stats["misses"] = 0

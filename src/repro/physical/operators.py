@@ -14,11 +14,53 @@ retracts the previously emitted row (sign -1) and emits the new one
 (sign +1).  MIN/MAX aggregates rescan their stored value multiset when a
 deletion removes the current extremum -- the exact behaviour that makes
 TPC-H Q15 non-incrementable in the paper's section 5.3.
+
+Every operator has two delta-application paths selected by
+:data:`~repro.physical.hotpath.HOTPATH`: the *batched* hot path (whole
+delta lists, hoisted lookups, pre-bound closures) and the per-tuple
+*reference* path kept as the correctness oracle and benchmark baseline.
+Both produce identical outputs and identical work charges; a dedicated
+test enforces the bit-identical RunResult invariant (docs/PERFORMANCE.md).
 """
 
 from ..errors import ExecutionError
 from ..relational import bitvec
-from ..relational.tuples import Delta, DELETE, INSERT, consolidate
+from ..relational.tuples import Delta, DELETE, INSERT, consolidate, make_delta
+from .hotpath import HOTPATH, _QIDS_CACHE, cached_artifacts, qids_of
+
+# Bound once: the batched loops construct deltas via ``__new__`` + slot
+# stores, skipping the constructor frame (make_delta adds one more frame
+# per record, which is measurable at join fan-out volumes).
+_NEW = Delta.__new__
+
+
+class _DecorationArtifacts:
+    """Compiled mark-filter and union projection of one node (shareable)."""
+
+    __slots__ = ("compiled_filters", "filter_mask", "filter_pairs",
+                 "projection")
+
+    def __init__(self, node):
+        core_schema = node.core_schema
+        self.compiled_filters = {
+            qid: predicate.compile(core_schema)
+            for qid, predicate in node.filters.items()
+        }
+        self.filter_mask = bitvec.mask_of(self.compiled_filters)
+        # (own_bit, clear_mask, predicate) per filter, ascending by qid:
+        # the batched path tests membership with one AND instead of
+        # decoding the bitvector per record
+        self.filter_pairs = tuple(
+            (1 << qid, ~(1 << qid), self.compiled_filters[qid])
+            for qid in sorted(self.compiled_filters)
+        )
+        union = node.union_projection()
+        if union is None:
+            self.projection = None
+        else:
+            self.projection = tuple(
+                (alias, expr.compile(core_schema)) for alias, expr in union
+            )
 
 
 class Decorations:
@@ -29,32 +71,104 @@ class Decorations:
         "project_name",
         "compiled_filters",
         "filter_mask",
+        "filter_pairs",
         "projection",
+        "projection_fns",
         "stats_mode",
         "filter_in_per_q",
         "filter_out_per_q",
     )
 
     def __init__(self, node, stats_mode=False):
-        core_schema = node.core_schema
+        artifacts = cached_artifacts(
+            ("deco", node.uid), lambda: _DecorationArtifacts(node)
+        )
         self.filter_name = "filter:%d" % node.uid
         self.project_name = "proj:%d" % node.uid
-        self.compiled_filters = {
-            qid: predicate.compile(core_schema)
-            for qid, predicate in node.filters.items()
-        }
-        self.filter_mask = bitvec.mask_of(self.compiled_filters)
-        union = node.union_projection()
-        if union is None:
-            self.projection = None
+        self.compiled_filters = artifacts.compiled_filters
+        self.filter_mask = artifacts.filter_mask
+        self.filter_pairs = artifacts.filter_pairs
+        self.projection = artifacts.projection
+        if artifacts.projection is None:
+            self.projection_fns = None
         else:
-            self.projection = [(alias, expr.compile(core_schema)) for alias, expr in union]
+            self.projection_fns = tuple(fn for _, fn in artifacts.projection)
         self.stats_mode = stats_mode
         self.filter_in_per_q = {}
         self.filter_out_per_q = {}
 
+    def reset_stats(self):
+        self.filter_in_per_q.clear()
+        self.filter_out_per_q.clear()
+
     def apply(self, deltas, meter):
         """Mark-filter then project ``deltas``; returns the surviving list."""
+        if HOTPATH.batched:
+            return self._apply_batched(deltas, meter)
+        return self._apply_reference(deltas, meter)
+
+    def _apply_batched(self, deltas, meter):
+        out = deltas
+        pairs = self.filter_pairs
+        stats = self.stats_mode
+        if pairs:
+            meter.charge_input(self.filter_name, len(out))
+            in_per_q = self.filter_in_per_q
+            out_per_q = self.filter_out_per_q
+            filtered = []
+            append = filtered.append
+            # each filter owns exactly one bit, so testing/clearing with
+            # precomputed masks is order-independent and needs no decode
+            for delta in out:
+                original = delta.bits
+                bits = original
+                if stats:
+                    for qid in qids_of(original):
+                        in_per_q[qid] = in_per_q.get(qid, 0) + 1
+                row = delta.row
+                for bit, clear, fn in pairs:
+                    if bits & bit and not fn(row):
+                        bits &= clear
+                if bits == 0:
+                    continue
+                if stats:
+                    for qid in qids_of(bits):
+                        out_per_q[qid] = out_per_q.get(qid, 0) + 1
+                if bits == original:
+                    append(delta)
+                else:
+                    record = _NEW(Delta)
+                    record.row = row
+                    record.sign = delta.sign
+                    record.bits = bits
+                    append(record)
+            out = filtered
+        fns = self.projection_fns
+        if fns is not None:
+            meter.charge_input(self.project_name, len(out))
+            projected = []
+            append = projected.append
+            if len(fns) == 1:
+                fn = fns[0]
+                for d in out:
+                    record = _NEW(Delta)
+                    record.row = (fn(d.row),)
+                    record.sign = d.sign
+                    record.bits = d.bits
+                    append(record)
+            else:
+                for d in out:
+                    row = d.row
+                    record = _NEW(Delta)
+                    record.row = tuple(fn(row) for fn in fns)
+                    record.sign = d.sign
+                    record.bits = d.bits
+                    append(record)
+            out = projected
+        return out
+
+    def _apply_reference(self, deltas, meter):
+        """Original per-tuple path (oracle / benchmark baseline)."""
         out = deltas
         if self.compiled_filters:
             filtered = []
@@ -111,7 +225,52 @@ class SourceExec:
         self.kept_per_q = {}
         self.deletes_kept = 0
 
+    def reset(self):
+        """Restore fresh-run state (offsets are reset by the executor)."""
+        self.reader.offset = 0
+        self.scanned_total = 0
+        self.kept_total = 0
+        self.kept_per_q = {}
+        self.deletes_kept = 0
+        self.decorations.reset_stats()
+
     def advance(self):
+        if HOTPATH.batched:
+            return self._advance_batched()
+        return self._advance_reference()
+
+    def _advance_batched(self):
+        new_deltas = self.reader.read_new()
+        if self.consolidate_reads and new_deltas:
+            new_deltas = consolidate(new_deltas)
+        self.meter.charge_input(self.name, len(new_deltas))
+        self.scanned_total += len(new_deltas)
+        mask = self.subplan_mask
+        kept = []
+        append = kept.append
+        for delta in new_deltas:
+            bits = delta.bits & mask
+            if bits == 0:
+                continue
+            if bits == delta.bits:
+                append(delta)
+            else:
+                record = _NEW(Delta)
+                record.row = delta.row
+                record.sign = delta.sign
+                record.bits = bits
+                append(record)
+        if self.stats_mode:
+            self.kept_total += len(kept)
+            kept_per_q = self.kept_per_q
+            for delta in kept:
+                if delta.sign == DELETE:
+                    self.deletes_kept += 1
+                for qid in qids_of(delta.bits):
+                    kept_per_q[qid] = kept_per_q.get(qid, 0) + 1
+        return self.decorations.apply(kept, self.meter)
+
+    def _advance_reference(self):
         new_deltas = self.reader.read_new()
         if self.consolidate_reads and new_deltas:
             # Reading from a child subplan's buffer: retract/insert churn
@@ -139,6 +298,31 @@ class SourceExec:
         return self.decorations.apply(kept, self.meter)
 
 
+class _JoinArtifacts:
+    """Compiled key getters of one join node (shareable).
+
+    ``left_index``/``right_index`` carry the column position for
+    single-column keys (the overwhelmingly common case) so the batched
+    loops index the row directly instead of calling the getter closure.
+    """
+
+    __slots__ = ("left_key", "right_key", "left_index", "right_index")
+
+    def __init__(self, node):
+        left_schema = node.children[0].out_schema
+        right_schema = node.children[1].out_schema
+        self.left_key = _key_getter(left_schema, node.left_keys)
+        self.right_key = _key_getter(right_schema, node.right_keys)
+        self.left_index = (
+            left_schema.index_of(node.left_keys[0])
+            if len(node.left_keys) == 1 else None
+        )
+        self.right_index = (
+            right_schema.index_of(node.right_keys[0])
+            if len(node.right_keys) == 1 else None
+        )
+
+
 class JoinExec:
     """Symmetric (pipelined) hash join over delta streams.
 
@@ -156,10 +340,11 @@ class JoinExec:
         self.state_factor = state_factor
         self.entry_count = 0
         self.name = "join:%d" % node.uid
-        left_schema = node.children[0].out_schema
-        right_schema = node.children[1].out_schema
-        self._left_key = _key_getter(left_schema, node.left_keys)
-        self._right_key = _key_getter(right_schema, node.right_keys)
+        artifacts = cached_artifacts(("join", node.uid), lambda: _JoinArtifacts(node))
+        self._left_key = artifacts.left_key
+        self._right_key = artifacts.right_key
+        self._left_index = artifacts.left_index
+        self._right_index = artifacts.right_index
         # key -> {(row, bits): net multiplicity}
         self._left_table = {}
         self._right_table = {}
@@ -172,7 +357,141 @@ class JoinExec:
         self.in_right_per_q = {}
         self.out_per_q = {}
 
+    def reset(self):
+        self.left.reset()
+        self.right.reset()
+        self._left_table.clear()
+        self._right_table.clear()
+        self.entry_count = 0
+        self.in_left = 0
+        self.in_right = 0
+        self.out_total = 0
+        self.in_left_per_q = {}
+        self.in_right_per_q = {}
+        self.out_per_q = {}
+        self.decorations.reset_stats()
+
     def advance(self):
+        if HOTPATH.batched:
+            return self._advance_batched()
+        return self._advance_reference()
+
+    def _advance_batched(self):
+        left_deltas = self.left.advance()
+        right_deltas = self.right.advance()
+        self.meter.charge_input(self.name, len(left_deltas) + len(right_deltas))
+        out = []
+        if left_deltas:
+            # probe new left deltas against the old right state, installing
+            # each into the left table as it goes (fused: installs only
+            # touch the delta's own side, so per-delta probe/install
+            # interleaving emits exactly the two-pass reference order)
+            self.entry_count += self._process_batch(
+                left_deltas, self._right_table, self._left_table,
+                self._left_index, self._left_key, out, True,
+            )
+        if right_deltas:
+            # probe new right deltas against the *new* left state
+            self.entry_count += self._process_batch(
+                right_deltas, self._left_table, self._right_table,
+                self._right_index, self._right_key, out, False,
+            )
+        self.meter.charge_output(self.name, len(out))
+        if self.state_factor:
+            self.meter.charge_state(self.name, self.state_factor * self.entry_count)
+        if self.stats_mode:
+            self.in_left += len(left_deltas)
+            self.in_right += len(right_deltas)
+            self.out_total += len(out)
+            _count_per_q(left_deltas, self.in_left_per_q)
+            _count_per_q(right_deltas, self.in_right_per_q)
+            _count_per_q(out, self.out_per_q)
+        return self.decorations.apply(out, self.meter)
+
+    @staticmethod
+    def _process_batch(deltas, probe_table, own_table, key_index, key_fn,
+                       out, left_side):
+        """Fused probe + install of one side's deltas; returns the
+        entry-count change.
+
+        Installs mutate ``own_table`` only, so probing ``probe_table``
+        per delta while installing preserves the reference path's
+        probe-all-then-install-all output order exactly.  The loop body
+        constructs output deltas inline (no constructor frames) and the
+        two ``left_side`` variants exist so the row-concatenation order
+        is branch-free per output.  Installs delete empty slots eagerly,
+        so a stored net multiplicity is never 0 here.
+        """
+        probe_get = probe_table.get
+        own_get = own_table.get
+        append = out.append
+        extend = out.extend
+        new = _NEW
+        cls = Delta
+        entries = 0
+        for delta in deltas:
+            row_d = delta.row
+            sign_d = delta.sign
+            bits_d = delta.bits
+            if key_index is None:
+                key = key_fn(row_d)
+            else:
+                key = row_d[key_index]
+            matches = probe_get(key)
+            if matches:
+                if left_side:
+                    for (other_row, other_bits), net in matches.items():
+                        bits = bits_d & other_bits
+                        if bits == 0:
+                            continue
+                        record = new(cls)
+                        record.row = row_d + other_row
+                        record.bits = bits
+                        if net > 0:
+                            record.sign = sign_d
+                        else:
+                            record.sign = -sign_d
+                            net = -net
+                        if net == 1:
+                            append(record)
+                        else:
+                            extend([record] * net)
+                else:
+                    for (other_row, other_bits), net in matches.items():
+                        bits = bits_d & other_bits
+                        if bits == 0:
+                            continue
+                        record = new(cls)
+                        record.row = other_row + row_d
+                        record.bits = bits
+                        if net > 0:
+                            record.sign = sign_d
+                        else:
+                            record.sign = -sign_d
+                            net = -net
+                        if net == 1:
+                            append(record)
+                        else:
+                            extend([record] * net)
+            entry = own_get(key)
+            if entry is None:
+                entry = own_table[key] = {}
+            slot = (row_d, bits_d)
+            previous = entry.get(slot, 0)
+            net = previous + sign_d
+            if net == 0:
+                # previous was +-1, so the slot existed and empties out
+                del entry[slot]
+                if not entry:
+                    del own_table[key]
+                entries -= 1
+            else:
+                entry[slot] = net
+                if previous == 0:
+                    entries += 1
+        return entries
+
+    def _advance_reference(self):
         left_deltas = self.left.advance()
         right_deltas = self.right.advance()
         self.meter.charge_input(self.name, len(left_deltas) + len(right_deltas))
@@ -253,7 +572,7 @@ def _table_update(table, key, delta):
 
 def _count_per_q(deltas, acc):
     for delta in deltas:
-        for qid in bitvec.iter_bits(delta.bits):
+        for qid in qids_of(delta.bits):
             acc[qid] = acc.get(qid, 0) + 1
 
 
@@ -284,19 +603,49 @@ class _CountState:
 
 
 class _AvgState:
-    __slots__ = ("total", "count")
+    """AVG with exact int accumulation and compensated float summation.
+
+    A plain ``total += sign * value`` accumulates float rounding error
+    that never cancels under delete-heavy update streams, so a group
+    whose contributions all retract could report a nonzero average drift.
+    Integer inputs stay on an exact int fast path; float inputs use
+    Neumaier compensated summation, and when the group empties out the
+    accumulator snaps back to exactly zero.
+    """
+
+    __slots__ = ("total", "count", "compensation")
 
     def __init__(self):
         self.total = 0
         self.count = 0
+        self.compensation = 0.0
 
     def update(self, value, sign, meter, name):
-        self.total += sign * value
-        self.count += sign
+        count = self.count + sign
+        self.count = count
+        if sign == DELETE:
+            value = -value
+        total = self.total
+        if type(total) is int and type(value) is int:
+            self.total = total + value
+        else:
+            new_total = total + value
+            if abs(total) >= abs(value):
+                self.compensation += (total - new_total) + value
+            else:
+                self.compensation += (value - new_total) + total
+            self.total = new_total
+        if count == 0:
+            # exact cancellation: an empty multiset has drifted nowhere
+            self.total = 0
+            self.compensation = 0.0
 
     def current(self):
         if self.count == 0:
             return None
+        compensation = self.compensation
+        if compensation:
+            return (self.total + compensation) / self.count
         return self.total / self.count
 
 
@@ -327,11 +676,18 @@ class _MinMaxState:
             elif not self.is_max and value < self.extremum:
                 self.extremum = value
             return
-        count = self.values.get(value, 0) - 1
+        count = self.values.get(value, 0)
         if count <= 0:
-            self.values.pop(value, None)
+            # Deleting a value that never arrived would silently drive the
+            # multiset count negative and corrupt every later rescan.
+            raise ExecutionError(
+                "%s: MIN/MAX delete of value %r not present in the multiset"
+                % (name, value)
+            )
+        if count == 1:
+            del self.values[value]
         else:
-            self.values[value] = count
+            self.values[value] = count - 1
         if value == self.extremum and value not in self.values:
             meter.charge_rescan(name, len(self.values))
             if self.values:
@@ -363,6 +719,40 @@ class _GroupQueryState:
         self.states = [_make_state(spec) for spec in specs]
 
 
+_AGG_KINDS = {"sum": 0, "count": 1, "avg": 2}  # anything else: min/max = 3
+
+
+class _AggregateArtifacts:
+    """Compiled group-key getter and input closures of one aggregate node.
+
+    ``group_index`` is the column position for single-column group keys
+    and ``spec_kinds`` int-codes each aggregate function so the batched
+    absorb loop can dispatch state updates without per-record method
+    calls.
+    """
+
+    __slots__ = ("group_key", "group_index", "input_fns", "spec_kinds")
+
+    def __init__(self, node):
+        child_schema = node.children[0].out_schema
+        if node.group_by:
+            indexes = tuple(child_schema.index_of(name) for name in node.group_by)
+            if len(indexes) == 1:
+                index = indexes[0]
+                self.group_index = index
+                self.group_key = lambda row: (row[index],)
+            else:
+                self.group_index = None
+                self.group_key = lambda row: tuple(row[i] for i in indexes)
+        else:
+            self.group_index = None
+            self.group_key = None
+        self.input_fns = tuple(spec.expr.compile(child_schema) for spec in node.aggs)
+        self.spec_kinds = tuple(
+            _AGG_KINDS.get(spec.func, 3) for spec in node.aggs
+        )
+
+
 class AggregateExec:
     """Shared group-by aggregate with per-query state and retractions.
 
@@ -384,14 +774,12 @@ class AggregateExec:
         self.state_factor = state_factor
         self.state_count = 0
         self.name = "agg:%d" % node.uid
-        child_schema = node.children[0].out_schema
-        if node.group_by:
-            indexes = tuple(child_schema.index_of(name) for name in node.group_by)
-            self._group_key = lambda row: tuple(row[i] for i in indexes)
-        else:
-            self._group_key = None
+        artifacts = cached_artifacts(("agg", node.uid), lambda: _AggregateArtifacts(node))
+        self._group_key = artifacts.group_key
+        self._group_index = artifacts.group_index
         self.specs = node.aggs
-        self._input_fns = [spec.expr.compile(child_schema) for spec in self.specs]
+        self._input_fns = artifacts.input_fns
+        self._spec_kinds = artifacts.spec_kinds
         self.groups = {}
         self.last_emitted = {}
         self._touched = set()
@@ -402,6 +790,18 @@ class AggregateExec:
         self.in_deletes = 0
         self.out_total = 0
 
+    def reset(self):
+        self.child.reset()
+        self.groups.clear()
+        self.last_emitted.clear()
+        self._touched.clear()
+        self.state_count = 0
+        self.in_total = 0
+        self.in_per_q = {}
+        self.in_deletes = 0
+        self.out_total = 0
+        self.decorations.reset_stats()
+
     def advance(self):
         deltas = self.child.advance()
         self.meter.charge_input(self.name, len(deltas))
@@ -409,15 +809,258 @@ class AggregateExec:
             self.in_total += len(deltas)
             _count_per_q(deltas, self.in_per_q)
             self.in_deletes += sum(1 for d in deltas if d.sign == DELETE)
-        for delta in deltas:
-            self._absorb(delta)
-        out = self._emit()
+        if HOTPATH.batched:
+            self._absorb_batch(deltas)
+            out = self._emit_batched()
+        else:
+            for delta in deltas:
+                self._absorb(delta)
+            out = self._emit()
         self.meter.charge_output(self.name, len(out))
         if self.state_factor:
             self.meter.charge_state(self.name, self.state_factor * self.state_count)
         if self.stats_mode:
             self.out_total += len(out)
         return self.decorations.apply(out, self.meter)
+
+    # -- batched hot path ----------------------------------------------------
+
+    def _absorb_batch(self, deltas):
+        # The inner dispatch inlines the state-update bodies by spec kind
+        # so the per-(delta, query) cost carries no method-call frames.
+        # The arithmetic is copied verbatim from the state classes (an
+        # identical operation sequence keeps float results bit-identical
+        # to the reference path); min/max keeps the method call because
+        # it charges the work meter on rescans.
+        groups = self.groups
+        groups_get = groups.get
+        group_key = self._group_key
+        gidx = self._group_index
+        input_fns = self._input_fns
+        kinds = self._spec_kinds
+        specs = self.specs
+        mask = self.subplan_mask
+        touched_add = self._touched.add
+        meter = self.meter
+        name = self.name
+        state_count = self.state_count
+        qids_cache_get = _QIDS_CACHE.get
+        arity = len(kinds)
+        single = arity == 1
+        two = arity == 2
+        fn0 = input_fns[0] if input_fns else None
+        fn1 = input_fns[1] if arity > 1 else None
+        kind0 = kinds[0] if kinds else 3
+        kind1 = kinds[1] if arity > 1 else 3
+        for delta in deltas:
+            row = delta.row
+            sign = delta.sign
+            if gidx is not None:
+                key = (row[gidx],)
+            elif group_key is not None:
+                key = group_key(row)
+            else:
+                key = ()
+            per_query = groups_get(key)
+            if per_query is None:
+                per_query = groups[key] = {}
+            touched_add(key)
+            masked = delta.bits & mask
+            qids = qids_cache_get(masked)
+            if qids is None:
+                qids = qids_of(masked)
+            per_query_get = per_query.get
+            if single:
+                value0 = fn0(row)
+                for qid in qids:
+                    state = per_query_get(qid)
+                    if state is None:
+                        state = per_query[qid] = _GroupQueryState(specs)
+                        state_count += 1
+                    state.contributions += sign
+                    st = state.states[0]
+                    if kind0 == 0:
+                        st.value += value0 if sign == 1 else -value0
+                    elif kind0 == 1:
+                        st.count += sign
+                    elif kind0 == 2:
+                        count = st.count + sign
+                        st.count = count
+                        if count == 0:
+                            st.total = 0
+                            st.compensation = 0.0
+                        else:
+                            value = -value0 if sign == DELETE else value0
+                            total = st.total
+                            if type(total) is int and type(value) is int:
+                                st.total = total + value
+                            else:
+                                new_total = total + value
+                                if abs(total) >= abs(value):
+                                    st.compensation += (total - new_total) + value
+                                else:
+                                    st.compensation += (value - new_total) + total
+                                st.total = new_total
+                    else:
+                        st.update(value0, sign, meter, name)
+            elif two:
+                # unrolled two-spec shape (e.g. SUM + AVG): no values list,
+                # no inner spec loop
+                value_a = fn0(row)
+                value_b = fn1(row)
+                for qid in qids:
+                    state = per_query_get(qid)
+                    if state is None:
+                        state = per_query[qid] = _GroupQueryState(specs)
+                        state_count += 1
+                    state.contributions += sign
+                    states = state.states
+                    st = states[0]
+                    if kind0 == 0:
+                        st.value += value_a if sign == 1 else -value_a
+                    elif kind0 == 1:
+                        st.count += sign
+                    elif kind0 == 2:
+                        count = st.count + sign
+                        st.count = count
+                        if count == 0:
+                            st.total = 0
+                            st.compensation = 0.0
+                        else:
+                            value = -value_a if sign == DELETE else value_a
+                            total = st.total
+                            if type(total) is int and type(value) is int:
+                                st.total = total + value
+                            else:
+                                new_total = total + value
+                                if abs(total) >= abs(value):
+                                    st.compensation += (total - new_total) + value
+                                else:
+                                    st.compensation += (value - new_total) + total
+                                st.total = new_total
+                    else:
+                        st.update(value_a, sign, meter, name)
+                    st = states[1]
+                    if kind1 == 0:
+                        st.value += value_b if sign == 1 else -value_b
+                    elif kind1 == 1:
+                        st.count += sign
+                    elif kind1 == 2:
+                        count = st.count + sign
+                        st.count = count
+                        if count == 0:
+                            st.total = 0
+                            st.compensation = 0.0
+                        else:
+                            value = -value_b if sign == DELETE else value_b
+                            total = st.total
+                            if type(total) is int and type(value) is int:
+                                st.total = total + value
+                            else:
+                                new_total = total + value
+                                if abs(total) >= abs(value):
+                                    st.compensation += (total - new_total) + value
+                                else:
+                                    st.compensation += (value - new_total) + total
+                                st.total = new_total
+                    else:
+                        st.update(value_b, sign, meter, name)
+            else:
+                values = [fn(row) for fn in input_fns]
+                for qid in qids:
+                    state = per_query_get(qid)
+                    if state is None:
+                        state = per_query[qid] = _GroupQueryState(specs)
+                        state_count += 1
+                    state.contributions += sign
+                    states = state.states
+                    i = 0
+                    for kind in kinds:
+                        value = values[i]
+                        st = states[i]
+                        i += 1
+                        if kind == 0:
+                            st.value += value if sign == 1 else -value
+                        elif kind == 1:
+                            st.count += sign
+                        elif kind == 2:
+                            count = st.count + sign
+                            st.count = count
+                            if count == 0:
+                                st.total = 0
+                                st.compensation = 0.0
+                            else:
+                                if sign == DELETE:
+                                    value = -value
+                                total = st.total
+                                if type(total) is int and type(value) is int:
+                                    st.total = total + value
+                                else:
+                                    new_total = total + value
+                                    if abs(total) >= abs(value):
+                                        st.compensation += (total - new_total) + value
+                                    else:
+                                        st.compensation += (value - new_total) + total
+                                    st.total = new_total
+                        else:
+                            st.update(value, sign, meter, name)
+        self.state_count = state_count
+
+    def _emit_batched(self):
+        emissions = {}
+        emissions_get = emissions.get
+        groups = self.groups
+        last_emitted = self.last_emitted
+        state_count = self.state_count
+        for key in self._touched:
+            per_query = groups.get(key)
+            if per_query is None:
+                per_query = {}
+            emitted = last_emitted.get(key)
+            if emitted is None:
+                emitted = last_emitted[key] = {}
+            emitted_get = emitted.get
+            for qid in list(per_query):
+                state = per_query[qid]
+                contributions = state.contributions
+                previous = emitted_get(qid)
+                if contributions <= 0:
+                    if contributions < 0:
+                        raise ExecutionError(
+                            "negative multiplicity in group %r for q%d" % (key, qid)
+                        )
+                    if previous is not None:
+                        slot = (previous, DELETE)
+                        emissions[slot] = emissions_get(slot, 0) | (1 << qid)
+                        del emitted[qid]
+                    del per_query[qid]
+                    state_count -= 1
+                    continue
+                row = key + tuple(s.current() for s in state.states)
+                if row == previous:
+                    continue
+                if previous is not None:
+                    slot = (previous, DELETE)
+                    emissions[slot] = emissions_get(slot, 0) | (1 << qid)
+                slot = (row, INSERT)
+                emissions[slot] = emissions_get(slot, 0) | (1 << qid)
+                emitted[qid] = row
+            if not per_query:
+                groups.pop(key, None)
+            if not emitted:
+                last_emitted.pop(key, None)
+        self._touched.clear()
+        self.state_count = state_count
+        if not emissions:
+            return []
+        # deterministic order: deletions first so downstream never sees a
+        # transient duplicate, then insertions
+        ordered = sorted(
+            emissions.items(), key=lambda item: (item[0][1], _sort_key(item[0][0]))
+        )
+        return [make_delta(row, sign, bits) for (row, sign), bits in ordered]
+
+    # -- per-tuple reference path --------------------------------------------
 
     def _absorb(self, delta):
         key = self._group_key(delta.row) if self._group_key else ()
@@ -485,5 +1128,18 @@ class AggregateExec:
         return sum(1 for per_query in self.groups.values() if qid in per_query)
 
 
+_TYPE_NAMES = {}
+
+
 def _sort_key(row):
-    return tuple((str(type(v)), str(v)) for v in row)
+    # str(type(v)) is memoized per type; the rendered value is not (rows
+    # rarely repeat within one emission sort).
+    names = _TYPE_NAMES
+    key = []
+    for value in row:
+        value_type = type(value)
+        name = names.get(value_type)
+        if name is None:
+            name = names[value_type] = str(value_type)
+        key.append((name, str(value)))
+    return tuple(key)

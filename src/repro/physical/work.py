@@ -46,6 +46,14 @@ class WorkMeter:
     def _charge(self, operator_name, units):
         self.per_operator[operator_name] = self.per_operator.get(operator_name, 0) + units
 
+    def reset(self):
+        """Zero every counter (operator-tree reuse across runs)."""
+        self.input_units = 0
+        self.output_units = 0
+        self.rescan_units = 0
+        self.state_units = 0.0
+        self.per_operator.clear()
+
     @property
     def total(self):
         return (self.input_units + self.output_units + self.rescan_units

@@ -54,6 +54,23 @@ class Delta:
         return "Delta(%s%r, bits=%s)" % (marker, self.row, bin(self.bits))
 
 
+_DELTA_NEW = Delta.__new__
+
+
+def make_delta(row, sign, bits):
+    """Construct a :class:`Delta` without ``__init__``'s sign validation.
+
+    The engine hot paths build millions of deltas whose signs are ±1 by
+    construction; skipping the per-record validation is measurable.  Any
+    caller that cannot guarantee the sign must use ``Delta(...)`` instead.
+    """
+    delta = _DELTA_NEW(Delta)
+    delta.row = row
+    delta.sign = sign
+    delta.bits = bits
+    return delta
+
+
 class DeltaBatch:
     """An ordered collection of :class:`Delta` records under one schema."""
 
@@ -125,21 +142,36 @@ def consolidate(deltas):
     multiplicity expanded back into unit deltas.  The engine uses this when
     materializing buffers so downstream subplans do not re-process churn
     that cancelled within one batch.
+
+    The expansion is multiplicity-shared: a key with net count ``n``
+    contributes ``n`` references to *one* delta object instead of ``n``
+    fresh allocations (deltas are immutable once built, so sharing is
+    safe and record counts -- the work unit -- are unchanged).
     """
     net = {}
     order = []
     for delta in deltas:
         key = (delta.row, delta.bits)
-        if key not in net:
-            net[key] = 0
+        if key in net:
+            net[key] += delta.sign
+        else:
+            net[key] = delta.sign
             order.append(key)
-        net[key] += delta.sign
     out = []
+    append = out.append
+    extend = out.extend
     for key in order:
         count = net[key]
         if count == 0:
             continue
-        sign = INSERT if count > 0 else DELETE
         row, bits = key
-        out.extend(Delta(row, sign, bits) for _ in range(abs(count)))
+        if count > 0:
+            delta = make_delta(row, INSERT, bits)
+        else:
+            delta = make_delta(row, DELETE, bits)
+            count = -count
+        if count == 1:
+            append(delta)
+        else:
+            extend([delta] * count)
     return out

@@ -1,0 +1,212 @@
+"""Bit-identity of the batched hot path against the per-tuple reference.
+
+The engine keeps the original per-tuple delta application as a switchable
+reference path (``repro.physical.hotpath``).  These tests are the ISSUE's
+hard constraint: the batched path, the compiled-artifact cache, operator
+tree reuse, and in-place buffer compaction must leave every RunResult
+work/latency number and every query result *bit-identical* on the fig11
+workload (TPC-H, all 22 queries, update-stream churn included).
+"""
+
+import os
+
+import pytest
+
+from repro.engine.buffers import Buffer
+from repro.engine.executor import PlanExecutor
+from repro.engine.stream import StreamConfig
+from repro.errors import ExecutionError
+from repro.physical.hotpath import clear_compiled_caches, engine_mode
+from repro.relational.tuples import Delta
+from repro.workloads.tpch import (
+    ALL_QUERY_NAMES,
+    add_lineitem_updates,
+    build_workload,
+    generate_catalog,
+)
+
+from .util import shared_plan_for
+
+
+def fingerprint(result):
+    """Every numeric surface of a RunResult, exact (no tolerance)."""
+    return {
+        "total_work": result.total_work,
+        "records": [
+            (r.sid, r.fraction, r.work, r.latency_work, r.output_count)
+            for r in result.records
+        ],
+        "subplan_total_work": result.subplan_total_work,
+        "subplan_final_work": result.subplan_final_work,
+        "query_final_work": result.query_final_work,
+        "query_results": result.query_results,
+    }
+
+
+@pytest.fixture(scope="module")
+def fig11_setup():
+    catalog = generate_catalog(scale=0.08, seed=5)
+    add_lineitem_updates(catalog, fraction=0.05, seed=11)
+    queries = build_workload(catalog, ALL_QUERY_NAMES)
+    plan = shared_plan_for(catalog, queries)
+    # a valid mixed pace configuration: leaves eager, parents lazier
+    paces = {
+        subplan.sid: 2 if subplan.child_subplans() else 6
+        for subplan in plan.subplans
+    }
+    return plan, paces
+
+
+def run_with(plan, paces, **mode):
+    clear_compiled_caches()
+    with engine_mode(**mode):
+        executor = PlanExecutor(plan, StreamConfig())
+        return executor.run(paces)
+
+
+class TestFig11BitIdentity:
+    def test_batched_matches_reference(self, fig11_setup):
+        plan, paces = fig11_setup
+        batched = run_with(plan, paces, batched=True)
+        reference = run_with(
+            plan, paces, batched=False, compile_cache=False, reuse_trees=False
+        )
+        assert fingerprint(batched) == fingerprint(reference)
+
+    def test_each_toggle_is_individually_neutral(self, fig11_setup):
+        plan, paces = fig11_setup
+        baseline = fingerprint(
+            run_with(plan, paces, batched=False, compile_cache=False,
+                     reuse_trees=False)
+        )
+        for toggle in ("batched", "compile_cache", "reuse_trees"):
+            mode = {"batched": False, "compile_cache": False,
+                    "reuse_trees": False, toggle: True}
+            assert fingerprint(run_with(plan, paces, **mode)) == baseline, toggle
+
+    def test_uniform_pace_identity(self, fig11_setup):
+        plan, _ = fig11_setup
+        paces = {subplan.sid: 3 for subplan in plan.subplans}
+        batched = run_with(plan, paces, batched=True)
+        reference = run_with(
+            plan, paces, batched=False, compile_cache=False, reuse_trees=False
+        )
+        assert fingerprint(batched) == fingerprint(reference)
+
+
+class TestTreeReuse:
+    def test_reused_tree_matches_fresh_executor(self, fig11_setup):
+        plan, paces = fig11_setup
+        with engine_mode(batched=True, reuse_trees=True):
+            executor = PlanExecutor(plan, StreamConfig())
+            first = fingerprint(executor.run(paces))
+            assert executor._runtime is not None
+            second = fingerprint(executor.run(paces))  # reused tree
+            fresh = fingerprint(PlanExecutor(plan, StreamConfig()).run(paces))
+        assert first == second == fresh
+
+    def test_reuse_across_different_paces(self, fig11_setup):
+        plan, paces = fig11_setup
+        lazy = {subplan.sid: 1 for subplan in plan.subplans}
+        with engine_mode(batched=True, reuse_trees=True):
+            executor = PlanExecutor(plan, StreamConfig())
+            executor.run(paces)
+            reused = fingerprint(executor.run(lazy))
+            fresh = fingerprint(PlanExecutor(plan, StreamConfig()).run(lazy))
+        assert reused == fresh
+
+    def test_stats_mode_counters_reset_on_reuse(self, fig11_setup):
+        plan, paces = fig11_setup
+        with engine_mode(batched=True, reuse_trees=True):
+            executor = PlanExecutor(plan, StreamConfig(), stats_mode=True)
+            executor.run(paces)
+            first = {
+                sid: unit.meter.snapshot()
+                for sid, unit in executor.compiled.items()
+            }
+            executor.run(paces)
+            second = {
+                sid: unit.meter.snapshot()
+                for sid, unit in executor.compiled.items()
+            }
+        assert first == second
+
+
+class TestBufferCompaction:
+    def _deltas(self, n, bits=1):
+        return [Delta(("r%d" % i,), 1, bits) for i in range(n)]
+
+    def test_compact_drops_only_consumed_prefix(self):
+        buffer = Buffer("b")
+        reader = buffer.reader()
+        buffer.append(self._deltas(10))
+        assert reader.read_new() == buffer.deltas
+        buffer.append(self._deltas(3))
+        dropped = buffer.compact()
+        assert dropped == 10
+        assert len(buffer) == 13  # logical length unchanged
+        assert len(buffer.deltas) == 3
+        assert len(reader.read_new()) == 3
+        assert reader.remaining() == 0
+
+    def test_pinned_buffer_never_compacts(self):
+        buffer = Buffer("b")
+        buffer.pinned = True
+        reader = buffer.reader()
+        buffer.append(self._deltas(5))
+        reader.read_new()
+        assert buffer.compact() == 0
+        assert len(buffer.deltas) == 5
+
+    def test_unread_buffer_never_compacts(self):
+        buffer = Buffer("b")
+        buffer.append(self._deltas(5))
+        assert buffer.compact() == 0  # no readers registered
+        late = buffer.reader()
+        assert len(late.read_new()) == 5
+
+    def test_reader_behind_horizon_raises(self):
+        buffer = Buffer("b")
+        reader = buffer.reader()
+        buffer.append(self._deltas(4))
+        reader.read_new()
+        buffer.compact()
+        stale = buffer.reader()  # new reader starts at logical offset 0
+        with pytest.raises(ExecutionError):
+            stale.read_new()
+
+    def test_reset_rewinds_readers_and_base(self):
+        buffer = Buffer("b")
+        reader = buffer.reader()
+        buffer.append(self._deltas(4))
+        reader.read_new()
+        buffer.compact()
+        buffer.reset()
+        assert buffer.base == 0 and buffer.deltas == [] and reader.offset == 0
+        buffer.append(self._deltas(2))
+        assert len(reader.read_new()) == 2
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_HOTPATH_E2E"),
+    reason="set REPRO_HOTPATH_E2E=1 (CI) for the parallel-harness identity check",
+)
+def test_fig11_sweep_jobs2_bit_identical(monkeypatch, tmp_path):
+    """The full fig11 sweep under --jobs 2 is mode-invariant.
+
+    Worker processes read the REPRO_ENGINE_* toggles from the environment
+    at import, so the reference leg forces them via monkeypatch; the
+    parent process is switched with engine_mode.
+    """
+    from repro.harness.experiments import fig11
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    kwargs = dict(scale=0.1, max_pace=6, levels=(0.1,), jobs=2)
+    with engine_mode(batched=True, compile_cache=True, reuse_trees=True):
+        batched = fig11(**kwargs)
+    monkeypatch.setenv("REPRO_ENGINE_UNBATCHED", "1")
+    monkeypatch.setenv("REPRO_ENGINE_NO_COMPILE_CACHE", "1")
+    monkeypatch.setenv("REPRO_ENGINE_NO_PLAN_REUSE", "1")
+    with engine_mode(batched=False, compile_cache=False, reuse_trees=False):
+        reference = fig11(**kwargs)
+    assert batched.tables == reference.tables

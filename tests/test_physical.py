@@ -7,6 +7,7 @@ sequence of delta batches must equal a one-shot computation.
 
 import pytest
 
+from repro.errors import ExecutionError
 from repro.mqo.nodes import OpNode, TableRef
 from repro.physical.operators import (
     AggregateExec,
@@ -390,3 +391,57 @@ class TestMinMaxState:
         state.update(4, INSERT, meter, "m")
         state.update(4, DELETE, meter, "m")
         assert state.current() == 4
+
+    def test_delete_of_absent_value_raises(self):
+        # regression: this used to drive the multiset count negative and
+        # silently pop the entry, corrupting every later rescan
+        state = _MinMaxState(is_max=True)
+        meter = WorkMeter()
+        state.update(4, INSERT, meter, "m")
+        with pytest.raises(ExecutionError, match="not present"):
+            state.update(7, DELETE, meter, "m")
+        assert state.values == {4: 1}
+        assert state.current() == 4
+
+    def test_double_delete_raises_instead_of_going_negative(self):
+        state = _MinMaxState(is_max=True)
+        meter = WorkMeter()
+        state.update(4, INSERT, meter, "m")
+        state.update(4, DELETE, meter, "m")
+        with pytest.raises(ExecutionError, match="not present"):
+            state.update(4, DELETE, meter, "m")
+
+    def test_rescan_charge_equals_multiset_size_after_extremum_delete(self):
+        state = _MinMaxState(is_max=True)
+        meter = WorkMeter()
+        for value in (1, 2, 3, 4, 5):
+            state.update(value, INSERT, meter, "m")
+        state.update(5, DELETE, meter, "m")
+        assert meter.rescan_units == 4
+        assert state.current() == 4
+        state.update(4, DELETE, meter, "m")
+        assert meter.rescan_units == 4 + 3
+        assert state.current() == 3
+
+    def test_duplicate_extremum_only_rescans_on_last_copy(self):
+        state = _MinMaxState(is_max=True)
+        meter = WorkMeter()
+        for value in (5, 5, 3):
+            state.update(value, INSERT, meter, "m")
+        state.update(5, DELETE, meter, "m")
+        assert meter.rescan_units == 0  # a copy of the extremum remains
+        assert state.current() == 5
+        state.update(5, DELETE, meter, "m")
+        assert meter.rescan_units == 1  # rescans the surviving {3}
+        assert state.current() == 3
+
+    def test_min_variant_rescan_charge(self):
+        state = _MinMaxState(is_max=False)
+        meter = WorkMeter()
+        for value in (2, 2, 7, 9):
+            state.update(value, INSERT, meter, "m")
+        state.update(2, DELETE, meter, "m")
+        assert meter.rescan_units == 0
+        state.update(2, DELETE, meter, "m")
+        assert meter.rescan_units == 2
+        assert state.current() == 7

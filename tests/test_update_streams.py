@@ -8,7 +8,9 @@ import pytest
 from repro.engine.executor import PlanExecutor
 from repro.engine.stream import TableStream
 from repro.errors import SchemaError
+from repro.logical.builder import PlanBuilder
 from repro.mqo.merge import MQOOptimizer, build_unshared_plan
+from repro.relational.expressions import agg_max, col
 from repro.relational.schema import Schema, INT, FLOAT
 from repro.relational.table import Catalog, Table
 from repro.relational.tuples import DELETE, INSERT
@@ -109,6 +111,18 @@ class TestChurnExecution:
         )
         assert run.total_work > 0
 
+    def test_q15_churn_charges_rescan_units(self, churn_catalog):
+        # the section 5.3 effect must show up in the work meter itself:
+        # deleting the extremum rescans the group's stored value multiset
+        queries = build_workload(churn_catalog, ("Q15",))
+        plan = build_unshared_plan(churn_catalog, queries)
+        executor = PlanExecutor(plan)
+        executor.run({0: 10}, collect_results=False)
+        rescans = sum(
+            unit.meter.rescan_units for unit in executor.compiled.values()
+        )
+        assert rescans > 0
+
     def test_cost_model_sees_table_deletes(self, churn_catalog):
         from repro.cost.memo import PlanCostModel
         from repro.engine.calibrate import calibrate_plan
@@ -120,3 +134,117 @@ class TestChurnExecution:
         profile = model.table_stat("lineitem")
         assert profile.stat.deletes > 0
         assert profile.stat.total == churn_catalog.get("lineitem").log_length()
+
+
+class TestMinMaxRescanUnderUpdates:
+    """Rescan charging through a real aggregate fed an update stream."""
+
+    def _run_max_stream(self, rows, updates):
+        catalog = Catalog()
+        table = catalog.create("t", Schema.of(("k", INT), ("v", FLOAT)))
+        table.extend(rows)
+        table.apply_updates(updates)
+        builder = PlanBuilder.scan(catalog, "t").aggregate(
+            ["k"], [agg_max(col("v"), "hi")]
+        )
+        queries = [builder.as_query(0, "max_q")]
+        plan = build_unshared_plan(catalog, queries)
+        executor = PlanExecutor(plan)
+        run = executor.run({0: 1})
+        rescans = sum(
+            unit.meter.rescan_units for unit in executor.compiled.values()
+        )
+        return run, rescans
+
+    def test_extremum_update_rescans_full_multiset(self):
+        rows = [(1, float(v)) for v in range(1, 6)]  # multiset {1..5}
+        run, rescans = self._run_max_stream(rows, [((1, 5.0), (1, 0.5))])
+        # deleting 5.0 leaves 4 stored values to rescan; re-inserting 0.5
+        # then makes it 5 values with max 4.0
+        assert rescans == 4
+        assert run.query_results[0] == {(1, 4.0): 1}
+
+    def test_duplicate_extremum_update_does_not_rescan(self):
+        rows = [(1, 5.0), (1, 5.0), (1, 3.0)]
+        run, rescans = self._run_max_stream(rows, [((1, 5.0), (1, 1.0))])
+        assert rescans == 0  # another copy of 5.0 still stored
+        assert run.query_results[0] == {(1, 5.0): 1}
+
+    def test_non_extremum_update_does_not_rescan(self):
+        rows = [(1, float(v)) for v in range(1, 6)]
+        run, rescans = self._run_max_stream(rows, [((1, 2.0), (1, 2.5))])
+        assert rescans == 0
+        assert run.query_results[0] == {(1, 5.0): 1}
+
+
+class TestAvgStateChurn:
+    """Regression: AVG must not accumulate float drift under churn."""
+
+    def _meter(self):
+        from repro.physical.work import WorkMeter
+
+        return WorkMeter()
+
+    def test_full_cancellation_returns_exact_zero_state(self):
+        from repro.physical.operators import _AvgState
+
+        state = _AvgState()
+        meter = self._meter()
+        values = [0.1 * i for i in range(1, 401)]
+        for value in values:
+            state.update(value, INSERT, meter, "avg")
+        for value in values:
+            state.update(value, DELETE, meter, "avg")
+        # the old running float total kept ~1e-12 of residue here; the
+        # compensated accumulator must land on exactly zero
+        assert state.count == 0
+        assert state.total == 0
+        assert state.current() is None
+
+    def test_delete_heavy_churn_matches_exact_fraction_average(self):
+        from fractions import Fraction
+
+        from repro.physical.operators import _AvgState
+
+        state = _AvgState()
+        meter = self._meter()
+        rng = random.Random(17)
+        live = []
+        exact = []
+        for _ in range(3000):
+            if live and rng.random() < 0.49:
+                value = live.pop(rng.randrange(len(live)))
+                exact.remove(value)
+                state.update(value, DELETE, meter, "avg")
+            else:
+                value = rng.random() * 10.0 - 5.0
+                live.append(value)
+                exact.append(value)
+                state.update(value, INSERT, meter, "avg")
+        expected = float(
+            sum(Fraction(v) for v in exact) / len(exact)
+        )
+        assert state.count == len(exact)
+        assert state.current() == pytest.approx(expected, abs=1e-12, rel=1e-12)
+
+    def test_int_inputs_stay_exact_ints(self):
+        from repro.physical.operators import _AvgState
+
+        state = _AvgState()
+        meter = self._meter()
+        for value in (10**15, 7, -(10**15)):
+            state.update(value, INSERT, meter, "avg")
+        state.update(7, DELETE, meter, "avg")
+        assert state.total == 0 and isinstance(state.total, int)
+        assert state.count == 2
+
+    def test_avg_query_correct_under_churn(self):
+        catalog = generate_catalog(scale=0.12, seed=21)
+        add_lineitem_updates(catalog, fraction=0.2, seed=4)
+        queries = build_workload(catalog, ("Q1",))  # Q1 carries three AVGs
+        reference = batch_reference(catalog, queries)
+        plan = build_unshared_plan(catalog, queries)
+        assert_plan_correct(
+            plan, queries, reference,
+            paces={s.sid: 5 for s in plan.subplans},
+        )
