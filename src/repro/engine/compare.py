@@ -4,12 +4,37 @@ Incremental execution sums floating-point values in a different order
 than batch execution, so result rows can differ in the last few ulps.
 :func:`results_close` compares two net result multisets
 (``{row: count}`` as produced by
-:func:`~repro.engine.executor.query_result_view`) with float rounding.
+:func:`~repro.engine.executor.query_result_view`) with *tolerance-based
+multiset matching*: every entry of one side must find a counterpart on
+the other whose non-float components are equal and whose float
+components agree under :func:`math.isclose` (relative + absolute
+tolerance, with ``-0.0`` treated as ``0.0``).
+
+The old implementation bucketed floats with ``round(x, 4)``, which made
+two values one ulp apart compare *unequal* whenever they straddled a
+rounding boundary (e.g. ``0.00004999...`` vs ``0.00005000...``) -- a
+false verdict the differential fuzzer (:mod:`repro.fuzz`) would report
+as an engine bug.  :func:`normalize_rows` is kept for *display only*
+(readable diffs in :func:`assert_results_close` messages); it no longer
+participates in any equality decision.
 """
+
+import math
+
+#: default tolerances: generous enough for re-associated float sums over
+#: thousands of tuples, tight enough that any real retraction/multiplicity
+#: bug (which changes a value by at least one whole contribution) fails
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
 
 
 def normalize_rows(result, digits=4):
-    """Canonicalize a result multiset by rounding float components."""
+    """Canonicalize a result multiset by rounding float components.
+
+    Display/debugging helper only -- rounding buckets values, so two
+    floats one ulp apart can land in different buckets across a rounding
+    boundary.  Equality checks must go through :func:`results_close`.
+    """
     normalized = {}
     for row, count in result.items():
         key = tuple(
@@ -20,23 +45,136 @@ def normalize_rows(result, digits=4):
     return normalized
 
 
-def results_close(left, right, digits=4):
-    """True if two result multisets agree up to float rounding."""
-    return normalize_rows(left, digits) == normalize_rows(right, digits)
+def values_close(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+    """Tolerant scalar comparison: floats by isclose, everything else exact.
+
+    ``bool`` is excluded from the numeric path (it is an ``int`` subclass
+    but a distinct value domain), and ``-0.0 == 0.0`` holds by IEEE
+    equality inside ``isclose``.
+    """
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool) and a == b
+    a_num = isinstance(a, (int, float))
+    b_num = isinstance(b, (int, float))
+    if a_num and b_num:
+        if isinstance(a, int) and isinstance(b, int):
+            return a == b  # int arithmetic is exact on every path
+        if isinstance(a, float) and math.isnan(a):
+            return isinstance(b, float) and math.isnan(b)
+        if isinstance(b, float) and math.isnan(b):
+            return False
+        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+    if a_num != b_num:
+        return False
+    return a == b
 
 
-def assert_results_close(left, right, digits=4, context=""):
+def rows_close(left, right, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+    """True iff two rows agree component-wise under :func:`values_close`."""
+    if len(left) != len(right):
+        return False
+    return all(
+        values_close(a, b, rel_tol, abs_tol) for a, b in zip(left, right)
+    )
+
+
+def _value_sort_key(value):
+    """A total order over mixed-type row components.
+
+    Numbers (minus bools) sort together numerically so nearly-equal
+    floats from two executions land adjacently; ``-0.0`` collapses onto
+    ``0.0``; NaN sorts to a fixed slot; everything else sorts within its
+    type by repr.
+    """
+    if isinstance(value, bool):
+        return ("b", 1 if value else 0)
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            return ("nan", 0.0)
+        return ("n", value + 0.0)  # +0.0 turns -0.0 into 0.0
+    if isinstance(value, str):
+        return ("s", value)
+    return ("r", repr(value))
+
+
+def _entry_key(entry):
+    sign, row = entry
+    return (sign, tuple(_value_sort_key(value) for value in row))
+
+
+def _flatten(result):
+    """Expand a ``{row: count}`` multiset into sorted ``(sign, row)`` entries.
+
+    Counts are small in net results (consolidation cancels churn), so the
+    expansion is cheap; negative counts keep their sign so a row that one
+    path over-retracts can never pair with a normally-inserted row.
+    """
+    entries = []
+    for row, count in result.items():
+        sign = 1 if count > 0 else -1
+        entries.extend([(sign, row)] * abs(count))
+    entries.sort(key=_entry_key)
+    return entries
+
+
+def result_diff(left, right, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+    """Tolerance-based multiset difference: ``(only_left, only_right)``.
+
+    Every flattened entry of ``left`` greedily claims the first unclaimed
+    tolerance-close entry of ``right`` (both lists canonically sorted, so
+    near-equal values meet early); leftovers on either side are the
+    divergence.  Empty lists on both sides mean the multisets agree.
+    """
+    left_entries = _flatten(left)
+    right_entries = _flatten(right)
+    unmatched_right = list(right_entries)
+    only_left = []
+    for sign, row in left_entries:
+        for index, (other_sign, other_row) in enumerate(unmatched_right):
+            if sign == other_sign and rows_close(row, other_row, rel_tol, abs_tol):
+                del unmatched_right[index]
+                break
+        else:
+            only_left.append((sign, row))
+    return only_left, unmatched_right
+
+
+def results_close(left, right, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+    """True if two result multisets agree up to float tolerance."""
+    if left == right:
+        return True
+    only_left, only_right = result_diff(left, right, rel_tol, abs_tol)
+    return not only_left and not only_right
+
+
+def _display(entries, limit=5):
+    """Compact, rounded rendering of diff entries (display only)."""
+    rendered = []
+    for sign, row in entries[:limit]:
+        shown = tuple(
+            round(value, 6) if isinstance(value, float) else value
+            for value in row
+        )
+        rendered.append(("+" if sign > 0 else "-", shown))
+    return rendered
+
+
+def assert_results_close(left, right, rel_tol=REL_TOL, abs_tol=ABS_TOL,
+                         context=""):
     """Raise ``AssertionError`` with a readable diff when results differ."""
-    a = normalize_rows(left, digits)
-    b = normalize_rows(right, digits)
-    if a == b:
+    if left == right:
         return
-    only_left = sorted(set(a) - set(b), key=repr)[:5]
-    only_right = sorted(set(b) - set(a), key=repr)[:5]
-    count_diffs = [
-        (key, a[key], b[key]) for key in set(a) & set(b) if a[key] != b[key]
-    ][:5]
+    only_left, only_right = result_diff(left, right, rel_tol, abs_tol)
+    if not only_left and not only_right:
+        return
     raise AssertionError(
-        "results differ%s: only-left=%r only-right=%r count-diffs=%r"
-        % (" (%s)" % context if context else "", only_left, only_right, count_diffs)
+        "results differ%s: only-left=%r only-right=%r "
+        "(left %d rows, right %d rows)"
+        % (
+            " (%s)" % context if context else "",
+            _display(only_left),
+            _display(only_right),
+            sum(abs(c) for c in left.values()),
+            sum(abs(c) for c in right.values()),
+        )
     )

@@ -50,15 +50,27 @@ class CompiledSubplan:
 
         Returns ``(work, latency_work, output_deltas)``; ``latency_work``
         excludes the post-emission state-store maintenance charge.
+
+        Work is computed from the meter's *component* deltas, not as a
+        difference of ``meter.total`` snapshots: subtracting two mixed
+        int+float totals rounds differently from subtracting the state
+        units alone, which used to drive ``latency_work`` a few ulps
+        negative on executions that only did state maintenance (found by
+        the fuzzer's WorkMeter-invariant oracle).
         """
-        before = self.meter.total
-        state_before = self.meter.state_units
+        meter = self.meter
+        tuple_before = meter.input_units + meter.output_units + meter.rescan_units
+        state_before = meter.state_units
         out = self.root_exec.advance()
         self.buffer.append(out)
         self.executions += 1
-        work = self.meter.total - before + overhead
-        state_delta = self.meter.state_units - state_before
-        return work, work - state_delta, out
+        tuple_delta = (
+            meter.input_units + meter.output_units + meter.rescan_units
+            - tuple_before
+        )
+        latency_work = tuple_delta + overhead
+        work = latency_work + (meter.state_units - state_before)
+        return work, latency_work, out
 
 
 class PlanExecutor:

@@ -8,7 +8,38 @@ problems, optimization problems, and execution problems.
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Errors raised while replaying a fuzz case carry the generating seed
+    and the on-disk case path (:meth:`attach_fuzz_context`), so a crash
+    is actionable from any entry point -- including when it crosses a
+    worker-process boundary (:mod:`repro.harness.parallel` re-raises
+    these errors verbatim, attributes included).
+    """
+
+    #: fuzz provenance, attached by :mod:`repro.fuzz` when the error is
+    #: raised while executing a generated case
+    fuzz_seed = None
+    fuzz_case_path = None
+
+    def attach_fuzz_context(self, seed=None, case_path=None):
+        """Record the fuzz seed / case path that produced this error."""
+        if seed is not None:
+            self.fuzz_seed = seed
+        if case_path is not None:
+            self.fuzz_case_path = str(case_path)
+        return self
+
+    def __str__(self):
+        base = super().__str__()
+        extras = []
+        if self.fuzz_seed is not None:
+            extras.append("fuzz seed %s" % (self.fuzz_seed,))
+        if self.fuzz_case_path is not None:
+            extras.append("case %s" % self.fuzz_case_path)
+        if extras:
+            return "%s [%s]" % (base, ", ".join(extras))
+        return base
 
 
 class SchemaError(ReproError):

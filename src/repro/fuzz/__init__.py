@@ -1,0 +1,32 @@
+"""Grammar-driven differential fuzzer for the shared-execution engine.
+
+See docs/FUZZING.md.  Entry points:
+
+* ``python -m repro.fuzz --seed S --cases N [--shrink]`` -- campaign CLI
+* :func:`repro.fuzz.run_campaign` -- the same loop, programmatically
+* :func:`repro.fuzz.replay` -- re-run a saved case file
+* :func:`repro.fuzz.grammar.generate_case` / :func:`repro.fuzz.oracles.run_case`
+  -- one case at a time
+"""
+
+from .cli import CampaignResult, CaseFailure, main, replay, run_campaign
+from .corpus import iter_corpus, load_case, replay_command, save_case
+from .grammar import generate_case
+from .oracles import CaseReport, run_case
+from .shrinker import shrink
+
+__all__ = [
+    "CampaignResult",
+    "CaseFailure",
+    "CaseReport",
+    "generate_case",
+    "iter_corpus",
+    "load_case",
+    "main",
+    "replay",
+    "replay_command",
+    "run_campaign",
+    "run_case",
+    "save_case",
+    "shrink",
+]

@@ -1,0 +1,60 @@
+"""On-disk fuzz cases: save, load, replay, regression corpus.
+
+A saved case is a self-contained JSON file: the case dict itself plus a
+``replay`` command line, so a failure in CI or a teammate's terminal is
+reproducible with one copy-paste.  Minimized repros of every bug the
+fuzzer has found live in ``tests/fuzz_corpus/`` and are replayed by
+``tests/test_fuzz_regressions.py`` on every pytest run.
+"""
+
+import json
+import os
+
+#: keys of the wrapper document (everything else is the case itself)
+_META_KEYS = ("replay", "note", "failures")
+
+
+def save_case(case, path, failures=None, note=None):
+    """Write ``case`` (plus replay command and failure text) to ``path``."""
+    document = dict(case)
+    document["replay"] = replay_command(path)
+    if failures:
+        document["failures"] = list(failures)
+    if note:
+        document["note"] = note
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory and not os.path.isdir(directory):
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_case(path):
+    """Load a saved case, stripping the wrapper metadata."""
+    with open(path) as handle:
+        document = json.load(handle)
+    for key in _META_KEYS:
+        document.pop(key, None)
+    return document
+
+
+def replay_command(path):
+    return "python -m repro.fuzz --replay %s" % path
+
+
+def iter_corpus(directory):
+    """Yield ``(path, case)`` for every JSON case under ``directory``."""
+    if not os.path.isdir(directory):
+        return
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            path = os.path.join(directory, name)
+            yield path, load_case(path)
+
+
+def case_filename(case, prefix="case"):
+    return "%s-seed%s-idx%s.json" % (
+        prefix, case.get("seed", "x"), case.get("index", "x")
+    )

@@ -1,0 +1,350 @@
+"""Differential oracles: one fuzz case, several independent executions.
+
+Every case runs through multiple pipelines that must agree:
+
+``unshared``
+    each query as its own plan, everything at pace 1 -- the reference.
+``shared-batched``
+    the MQO-merged shared plan at a random (derived) pace configuration,
+    batched hot path.
+``shared-unbatched``
+    the same plan and paces through the per-tuple reference path
+    (``REPRO_ENGINE_UNBATCHED``); must be *bit-identical* to the batched
+    run -- results, work, and every execution record.
+``shared-pace1``
+    the shared plan with every pace forced to 1 (one-shot batch
+    recompute of every trigger).
+``decomposed``
+    optionally, the shared plan after a random two-way decomposition
+    (:func:`repro.core.regenerate.apply_split`) of one shared subplan,
+    at the split's inherited paces.
+``sql``
+    optionally, the same queries rendered to SQL text, re-parsed through
+    :mod:`repro.sqlparser`, and run unshared at pace 1.
+
+Divergence in net query results (tolerance-based multiset comparison,
+:mod:`repro.engine.compare`), in WorkMeter invariants, or in the *class*
+of raised :class:`~repro.errors.ReproError` is a failure.  A ReproError
+raised consistently by every oracle is a *rejected* case (the generator
+built something invalid) -- noted, but not a bug.  Exceptions outside
+the ReproError hierarchy propagate to the campaign loop, which treats
+them as crash failures.
+"""
+
+import random
+
+from ..core import pace as pace_mod
+from ..engine.compare import REL_TOL, ABS_TOL, result_diff, results_close
+from ..engine.executor import PlanExecutor
+from ..errors import OptimizationError, ReproError
+from ..mqo.merge import MQOOptimizer, build_unshared_plan
+from ..physical.hotpath import engine_mode
+from . import grammar
+
+#: relative slack allowed on total_work vs the sum of execution records
+WORK_SUM_TOL = 1e-6
+
+
+class OracleOutcome:
+    """One oracle's execution: a run (plus its plan/paces) or an error."""
+
+    __slots__ = ("name", "result", "plan", "paces", "error")
+
+    def __init__(self, name, result=None, plan=None, paces=None, error=None):
+        self.name = name
+        self.result = result
+        self.plan = plan
+        self.paces = paces
+        self.error = error
+
+    def __repr__(self):
+        state = "error=%r" % self.error if self.error is not None else "ok"
+        return "OracleOutcome(%r, %s)" % (self.name, state)
+
+
+class CaseReport:
+    """Verdict for one case: ``ok`` / ``rejected`` / ``fail`` + details."""
+
+    __slots__ = ("case", "status", "failures", "oracles")
+
+    def __init__(self, case, status, failures, oracles):
+        self.case = case
+        self.status = status
+        self.failures = failures
+        self.oracles = oracles
+
+    @property
+    def ok(self):
+        return self.status in ("ok", "rejected")
+
+    def describe(self):
+        lines = [
+            "case seed=%s index=%s: %s"
+            % (self.case.get("seed"), self.case.get("index"), self.status)
+        ]
+        lines.extend("  - %s" % failure for failure in self.failures)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "CaseReport(%s, %d failure(s))" % (self.status, len(self.failures))
+
+
+def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+    """Execute every applicable oracle for ``case`` and compare them."""
+    seed = case.get("seed")
+    catalog = grammar.build_catalog(case)
+    config = grammar.stream_config(case)
+    try:
+        queries = grammar.build_queries(catalog, case)
+    except ReproError as exc:
+        raise exc.attach_fuzz_context(seed=seed, case_path=case_path)
+
+    outcomes = {}
+
+    def attempt(name, fn):
+        try:
+            result, plan, paces = fn()
+        except ReproError as exc:
+            exc.attach_fuzz_context(seed=seed, case_path=case_path)
+            outcomes[name] = OracleOutcome(name, error=exc)
+        else:
+            outcomes[name] = OracleOutcome(
+                name, result=result, plan=plan, paces=paces
+            )
+        return outcomes[name]
+
+    def run_unshared():
+        plan = build_unshared_plan(catalog, queries)
+        paces = {subplan.sid: 1 for subplan in plan.subplans}
+        return PlanExecutor(plan, config).run(paces), plan, paces
+
+    reference = attempt("unshared", run_unshared)
+
+    shared_state = {}
+
+    def run_shared(batched=None, pace1=False):
+        def runner():
+            if "plan" not in shared_state:
+                shared_state["plan"] = MQOOptimizer(catalog).build_shared_plan(
+                    queries
+                )
+                shared_state["paces"] = grammar.derive_paces(
+                    shared_state["plan"], case
+                )
+            plan = shared_state["plan"]
+            paces = (
+                {subplan.sid: 1 for subplan in plan.subplans}
+                if pace1
+                else shared_state["paces"]
+            )
+            if batched is None:
+                result = PlanExecutor(plan, config).run(paces)
+            else:
+                with engine_mode(batched=batched):
+                    result = PlanExecutor(plan, config).run(paces)
+            return result, plan, paces
+
+        return runner
+
+    attempt("shared-batched", run_shared(batched=True))
+    attempt("shared-unbatched", run_shared(batched=False))
+    attempt("shared-pace1", run_shared(pace1=True))
+
+    if case.get("decompose") and "plan" in shared_state:
+        target = _decomposition_target(shared_state["plan"], case["decompose"])
+        if target is not None:
+
+            def run_decomposed():
+                from ..core.regenerate import apply_split
+
+                sid, partitions = target
+                new_plan, initial_paces = apply_split(
+                    shared_state["plan"], shared_state["paces"], sid, partitions
+                )
+                pace_mod.validate_parent_child(new_plan, initial_paces)
+                # pace configurations across a decomposition cover
+                # different sid sets; the comparison must refuse cleanly
+                # (this used to escape as a raw KeyError)
+                try:
+                    pace_mod.is_eagerer_or_equal(
+                        initial_paces, shared_state["paces"]
+                    )
+                except OptimizationError:
+                    pass
+                result = PlanExecutor(new_plan, config).run(initial_paces)
+                return result, new_plan, initial_paces
+
+            attempt("decomposed", run_decomposed)
+
+    if case.get("use_sql"):
+
+        def run_sql():
+            from ..sqlparser.lower import parse_query
+
+            sql_queries = [
+                parse_query(catalog, text, query_id, "s%d" % query_id)
+                for query_id, text in enumerate(grammar.render_sql(case))
+            ]
+            plan = build_unshared_plan(catalog, sql_queries)
+            paces = {subplan.sid: 1 for subplan in plan.subplans}
+            return PlanExecutor(plan, config).run(paces), plan, paces
+
+        attempt("sql", run_sql)
+
+    failures = _verdict(case, queries, outcomes, reference, rel_tol, abs_tol)
+    if failures is REJECTED:
+        return CaseReport(case, "rejected", [], outcomes)
+    status = "fail" if failures else "ok"
+    return CaseReport(case, status, failures, outcomes)
+
+
+REJECTED = object()
+
+
+def _decomposition_target(plan, spec):
+    """Pick (sid, two-way qid partition) for the case's decompose choice."""
+    candidates = [
+        subplan
+        for subplan in sorted(plan.shared_subplans(), key=lambda s: s.sid)
+        if len(subplan.query_ids()) >= 2
+    ]
+    if not candidates:
+        return None
+    subplan = candidates[spec.get("rank", 0) % len(candidates)]
+    qids = sorted(subplan.query_ids())
+    rng = random.Random("split:%d" % spec.get("salt", 0))
+    rng.shuffle(qids)
+    cut = rng.randint(1, len(qids) - 1)
+    return subplan.sid, [tuple(sorted(qids[:cut])), tuple(sorted(qids[cut:]))]
+
+
+def _verdict(case, queries, outcomes, reference, rel_tol, abs_tol):
+    failures = []
+    if reference.error is not None:
+        ref_class = type(reference.error)
+        divergent = [
+            "%s raised %s but the reference raised %s: %s"
+            % (name, type(o.error).__name__ if o.error else "nothing",
+               ref_class.__name__, reference.error)
+            for name, o in sorted(outcomes.items())
+            if name != "unshared"
+            and (o.error is None or type(o.error) is not ref_class)
+        ]
+        if divergent:
+            return divergent
+        return REJECTED
+
+    for name, outcome in sorted(outcomes.items()):
+        if outcome.error is not None:
+            failures.append(
+                "oracle %s raised %s while the reference succeeded: %s"
+                % (name, type(outcome.error).__name__, outcome.error)
+            )
+            continue
+        failures.extend(_check_invariants(name, outcome))
+        if name == "unshared":
+            continue
+        failures.extend(
+            _compare_results(
+                name, outcome.result, reference.result, queries,
+                rel_tol, abs_tol,
+            )
+        )
+
+    batched = outcomes.get("shared-batched")
+    unbatched = outcomes.get("shared-unbatched")
+    if (
+        batched is not None and unbatched is not None
+        and batched.error is None and unbatched.error is None
+    ):
+        failures.extend(_check_bit_identity(batched.result, unbatched.result))
+    return failures
+
+
+def _check_invariants(name, outcome):
+    """WorkMeter bookkeeping invariants every run must satisfy."""
+    failures = []
+    run, plan, paces = outcome.result, outcome.plan, outcome.paces
+    record_sum = sum(record.work for record in run.records)
+    slack = WORK_SUM_TOL * max(1.0, abs(run.total_work))
+    if abs(run.total_work - record_sum) > slack:
+        failures.append(
+            "%s: total_work %.9g != sum of execution records %.9g"
+            % (name, run.total_work, record_sum)
+        )
+    for record in run.records:
+        if record.work < 0 or record.latency_work < 0:
+            failures.append(
+                "%s: negative work in record sid=%d (work=%.9g latency=%.9g)"
+                % (name, record.sid, record.work, record.latency_work)
+            )
+            break
+    sids = {subplan.sid for subplan in plan.subplans}
+    if set(run.subplan_final_work) != sids:
+        failures.append(
+            "%s: final work recorded for sids %s, plan has %s"
+            % (name, sorted(run.subplan_final_work), sorted(sids))
+        )
+    expected_records = sum(paces.values())
+    if len(run.records) != expected_records:
+        failures.append(
+            "%s: %d execution records for %d scheduled executions"
+            % (name, len(run.records), expected_records)
+        )
+    expected_qids = set(plan.query_ids())
+    if set(run.query_results) != expected_qids:
+        failures.append(
+            "%s: results for qids %s, plan has %s"
+            % (name, sorted(run.query_results), sorted(expected_qids))
+        )
+    return failures
+
+
+def _compare_results(name, run, reference, queries, rel_tol, abs_tol):
+    failures = []
+    for query in queries:
+        qid = query.query_id
+        left = run.query_results.get(qid, {})
+        right = reference.query_results.get(qid, {})
+        if results_close(left, right, rel_tol=rel_tol, abs_tol=abs_tol):
+            continue
+        only_left, only_right = result_diff(
+            left, right, rel_tol=rel_tol, abs_tol=abs_tol
+        )
+        failures.append(
+            "%s: query %s (qid %d) diverges from reference: "
+            "%d row(s) only in %s %r; %d row(s) only in reference %r"
+            % (
+                name, query.name, qid, len(only_left), name,
+                only_left[:4], len(only_right), only_right[:4],
+            )
+        )
+    return failures
+
+
+def _check_bit_identity(batched, unbatched):
+    """The batched hot path must match the per-tuple path *exactly*."""
+    failures = []
+    if batched.query_results != unbatched.query_results:
+        failures.append(
+            "hotpath: batched and unbatched query results are not "
+            "bit-identical"
+        )
+    if batched.total_work != unbatched.total_work:
+        failures.append(
+            "hotpath: total_work differs batched=%r unbatched=%r"
+            % (batched.total_work, unbatched.total_work)
+        )
+    batched_records = [
+        (r.sid, r.fraction, r.work, r.latency_work, r.output_count)
+        for r in batched.records
+    ]
+    unbatched_records = [
+        (r.sid, r.fraction, r.work, r.latency_work, r.output_count)
+        for r in unbatched.records
+    ]
+    if batched_records != unbatched_records:
+        failures.append("hotpath: execution records differ between paths")
+    if batched.subplan_final_work != unbatched.subplan_final_work:
+        failures.append("hotpath: subplan final work differs between paths")
+    return failures

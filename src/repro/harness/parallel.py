@@ -32,10 +32,12 @@ event/decision sequence is reproducible run to run at a fixed job count.
 
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 
 from .. import obs
 from ..cost import cache as calibration_cache
+from ..errors import ReproError
 from ..obs import OBS, trace
 
 
@@ -77,6 +79,66 @@ def resolve_jobs(jobs):
     return max(1, int(jobs))
 
 
+# -- error propagation across the process boundary ------------------------------
+
+class WorkerTraceback(Exception):
+    """Carrier for a worker-side traceback, chained as ``__cause__``.
+
+    Mirrors what ``concurrent.futures`` does internally, but for errors we
+    capture explicitly so the original exception -- type, ``args`` *and*
+    enrichment attributes like ``fuzz_seed``/``fuzz_case_path`` -- arrives
+    in the driver verbatim instead of flattened to a string.
+    """
+
+    def __init__(self, text):
+        super().__init__(text)
+        self.text = text
+
+    def __str__(self):
+        return "\n\nworker traceback:\n%s" % self.text
+
+
+class _CapturedError:
+    """Picklable snapshot of a :class:`ReproError` raised in a worker.
+
+    Snapshotting (class, args, attribute dict, formatted traceback) is
+    robust where pickling live exception objects is not: reconstruction
+    never depends on the exception's ``__init__`` signature, and the
+    attribute dict restores post-construction enrichment (fuzz context,
+    positions, ...) exactly.
+    """
+
+    __slots__ = ("exc_class", "args", "state", "traceback_text")
+
+    def __init__(self, exc):
+        self.exc_class = type(exc)
+        self.args = exc.args
+        self.state = dict(getattr(exc, "__dict__", {}) or {})
+        self.traceback_text = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+
+    def rebuild(self):
+        try:
+            exc = self.exc_class(*self.args)
+        except Exception:
+            exc = ReproError(
+                "%s%r (original could not be reconstructed)"
+                % (self.exc_class.__name__, self.args)
+            )
+        for key, value in self.state.items():
+            try:
+                setattr(exc, key, value)
+            except Exception:
+                pass
+        return exc
+
+
+def _reraise(captured):
+    """Re-raise a captured worker error with its remote traceback chained."""
+    raise captured.rebuild() from WorkerTraceback(captured.traceback_text)
+
+
 # -- worker side ----------------------------------------------------------------
 
 _WORKER_RUNNER = None
@@ -101,17 +163,33 @@ def _init_worker(catalog, queries, config, cache_dir, obs_enabled=False):
 
 def _run_cell(index, approach, relative_constraints, pace_override):
     started = time.monotonic()
-    with trace.span("harness.cell", index=index, approach=approach):
-        result = _WORKER_RUNNER.run_approach(
-            approach, relative_constraints, pace_override=pace_override
-        )
+    try:
+        with trace.span("harness.cell", index=index, approach=approach):
+            result = _WORKER_RUNNER.run_approach(
+                approach, relative_constraints, pace_override=pace_override
+            )
+    except ReproError as exc:
+        # snapshot instead of raising: the driver re-raises the rebuilt
+        # exception verbatim (type, args, enrichment attributes) with the
+        # worker traceback chained, never a stringified copy
+        result = _CapturedError(exc)
     payload = obs.drain_worker_payload()
     return index, result, time.monotonic() - started, payload
 
 
 def _run_cell_batch(tasks):
-    """Run a statically assigned list of cells in this worker, in order."""
-    return [_run_cell(*task) for task in tasks]
+    """Run a statically assigned list of cells in this worker, in order.
+
+    Stops at the first failed cell (fail-fast, like the serial loop); the
+    captured error travels back inside the partial result list.
+    """
+    results = []
+    for task in tasks:
+        outcome = _run_cell(*task)
+        results.append(outcome)
+        if isinstance(outcome[1], _CapturedError):
+            break
+    return results
 
 
 # -- driver side ----------------------------------------------------------------
@@ -174,13 +252,29 @@ def run_cells(runner, cells, jobs=1):
             for future in futures:
                 for index, result, wall_seconds, payload in future.result():
                     completed[index] = (result, wall_seconds, payload)
-            # absorb in submission order regardless of completion order
+            # absorb in submission order regardless of completion order;
+            # the first failing index (in submission order) re-raises its
+            # captured worker error after the preceding payloads landed
+            error_index = min(
+                (
+                    index
+                    for index, (result, _, _) in completed.items()
+                    if isinstance(result, _CapturedError)
+                ),
+                default=None,
+            )
             for index, cell in enumerate(cells):
+                if error_index is not None and index >= error_index:
+                    break
                 result, wall_seconds, payload = completed[index]
                 outcomes[index] = CellOutcome(
                     cell.key, cell.approach, result, wall_seconds
                 )
                 obs.absorb_worker_payload(payload)
+            if error_index is not None:
+                result, _, payload = completed[error_index]
+                obs.absorb_worker_payload(payload)
+                _reraise(result)
             return outcomes
 
         futures = [
@@ -192,6 +286,8 @@ def run_cells(runner, cells, jobs=1):
         ]
         for future in futures:
             index, result, wall_seconds, payload = future.result()
+            if isinstance(result, _CapturedError):
+                _reraise(result)
             cell = cells[index]
             outcomes[index] = CellOutcome(
                 cell.key, cell.approach, result, wall_seconds

@@ -26,6 +26,7 @@ test enforces the bit-identical RunResult invariant (docs/PERFORMANCE.md).
 from ..errors import ExecutionError
 from ..relational import bitvec
 from ..relational.tuples import Delta, DELETE, INSERT, consolidate, make_delta
+from .faults import FAULTS, drop_first_retraction
 from .hotpath import HOTPATH, _QIDS_CACHE, cached_artifacts, qids_of
 
 # Bound once: the batched loops construct deltas via ``__new__`` + slot
@@ -804,6 +805,9 @@ class AggregateExec:
 
     def advance(self):
         deltas = self.child.advance()
+        if FAULTS.drop_agg_retraction and HOTPATH.batched:
+            # test-only injected bug: see repro.physical.faults
+            deltas = drop_first_retraction(deltas)
         self.meter.charge_input(self.name, len(deltas))
         if self.stats_mode:
             self.in_total += len(deltas)

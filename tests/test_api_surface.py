@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.workloads.tpch",
     "repro.sqlparser",
     "repro.harness",
+    "repro.fuzz",
 ]
 
 

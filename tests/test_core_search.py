@@ -148,6 +148,78 @@ class TestPaceHelpers:
         assert not can_decrease(plan, paces, shared.sid)
 
 
+class TestPaceHelperErrors:
+    """Mismatched subplan-id sets raise OptimizationError, not KeyError.
+
+    Configurations for pre- and post-decomposition plans cover different
+    sids; the helpers must reject the comparison descriptively instead of
+    crashing with a bare KeyError (the pre-fix behavior).
+    """
+
+    def test_is_eagerer_or_equal_different_sid_sets(self, search_setup):
+        _, _, plan, _ = search_setup
+        eager = uniform_configuration(plan, 3)
+        lazy = batch_configuration(plan)
+        lazy[max(lazy) + 1] = 1  # a sid the eager config does not cover
+        with pytest.raises(OptimizationError, match="different subplan-id"):
+            is_eagerer_or_equal(eager, lazy)
+        with pytest.raises(OptimizationError, match="different subplan-id"):
+            is_eagerer_or_equal(lazy, eager)
+
+    def test_is_eagerer_or_equal_across_decomposition(self, search_setup):
+        catalog, queries, plan, _ = search_setup
+        from repro.core.regenerate import apply_split
+
+        shared = [
+            s for s in plan.shared_subplans()
+            if len(s.query_ids()) >= 2
+        ][0]
+        qids = shared.query_ids()
+        parts = [tuple(qids[:1]), tuple(qids[1:])]
+        new_plan, initial = apply_split(
+            plan, uniform_configuration(plan, 2), shared.sid, parts
+        )
+        assert {s.sid for s in new_plan.subplans} != {
+            s.sid for s in plan.subplans
+        }
+        with pytest.raises(OptimizationError):
+            is_eagerer_or_equal(initial, uniform_configuration(plan, 2))
+
+    def test_with_pace_unknown_sid(self, search_setup):
+        _, _, plan, _ = search_setup
+        base = batch_configuration(plan)
+        with pytest.raises(OptimizationError, match="unknown subplan"):
+            with_pace(base, max(base) + 10, 3)
+
+    def test_can_increase_unknown_sid(self, search_setup):
+        _, _, plan, _ = search_setup
+        paces = batch_configuration(plan)
+        missing = max(paces) + 10
+        with pytest.raises(OptimizationError, match="no subplan"):
+            can_increase(plan, paces, missing, max_pace=10)
+        incomplete = dict(paces)
+        del incomplete[plan.subplans[0].sid]
+        with pytest.raises(OptimizationError, match="no pace for subplan"):
+            can_increase(plan, incomplete, plan.subplans[0].sid, max_pace=10)
+
+    def test_can_decrease_unknown_sid(self, search_setup):
+        _, _, plan, _ = search_setup
+        paces = uniform_configuration(plan, 3)
+        missing = max(paces) + 10
+        with pytest.raises(OptimizationError, match="no pace for subplan"):
+            can_decrease(plan, paces, missing)
+        paces[missing] = 3  # covered by the config but absent from the plan
+        with pytest.raises(OptimizationError, match="no subplan"):
+            can_decrease(plan, paces, missing)
+
+    def test_validate_parent_child_missing_sid(self, search_setup):
+        _, _, plan, _ = search_setup
+        paces = batch_configuration(plan)
+        del paces[plan.subplans[0].sid]
+        with pytest.raises(OptimizationError, match="no pace for subplan"):
+            validate_parent_child(plan, paces)
+
+
 class TestAscendingSearch:
     def test_loose_constraints_stay_near_batch(self, search_setup):
         _, _, plan, model = search_setup

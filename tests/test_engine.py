@@ -253,3 +253,47 @@ class TestResultComparison:
     def test_assert_results_close_message(self):
         with pytest.raises(AssertionError, match="only-left"):
             assert_results_close({(1,): 1}, {(2,): 1}, context="demo")
+
+    def test_one_ulp_across_rounding_boundary_is_close(self):
+        # 5e-05 rounds to 0.0001 at 4 digits while its 1-ulp lower
+        # neighbor rounds to 0.0 -- the old round()-bucketed comparison
+        # called these unequal
+        import math
+
+        x = 5e-05
+        y = math.nextafter(x, 0.0)
+        assert round(x, 4) != round(y, 4)  # the boundary the bug needs
+        assert normalize_rows({("g", x): 1}) != normalize_rows({("g", y): 1})
+        assert results_close({("g", x): 1}, {("g", y): 1})
+        assert_results_close({("g", x): 1}, {("g", y): 1})
+
+    def test_negative_zero_matches_positive_zero(self):
+        assert results_close({(-0.0,): 1}, {(0.0,): 1})
+        assert_results_close({("a", -0.0): 2}, {("a", 0.0): 2})
+
+    def test_count_split_across_ulp_neighbors(self):
+        # batch may net {v: 2} where incremental nets two rows one ulp
+        # apart; tolerance matching must pair them up
+        import math
+
+        v = 123.456
+        w = math.nextafter(v, 1000.0)
+        assert results_close({(v,): 2}, {(v,): 1, (w,): 1})
+
+    def test_relative_tolerance_scales_with_magnitude(self):
+        big = 1.0e9
+        assert results_close({(big,): 1}, {(big * (1 + 1e-9),): 1})
+        assert not results_close({(big,): 1}, {(big * 1.01,): 1})
+
+    def test_int_components_compare_exactly(self):
+        # int results (counts, int sums) are exact on every path; a
+        # one-off large count must not slip through the relative tolerance
+        assert not results_close({(10_000_000,): 1}, {(10_000_001,): 1})
+
+    def test_sign_mismatch_is_not_close(self):
+        assert not results_close({(1.0,): 1}, {(1.0,): -1})
+
+    def test_nan_matches_only_nan(self):
+        nan = float("nan")
+        assert results_close({(nan,): 1}, {(nan,): 1})
+        assert not results_close({(nan,): 1}, {(0.0,): 1})

@@ -1,0 +1,159 @@
+"""Fuzzer self-tests: determinism, oracle soundness, injected-bug detection.
+
+The differential fuzzer is itself guarded code: these tests prove that
+the case stream is deterministic, that a healthy engine fuzzes green,
+and -- via a known bug injected behind a test-only toggle
+(:mod:`repro.physical.faults`) -- that the oracles detect a real
+divergence within a bounded case budget and the shrinker reduces it to
+a minimal repro.
+"""
+
+import json
+
+from repro.errors import ReproError
+from repro.fuzz import generate_case, run_campaign, shrink
+from repro.fuzz.cli import _is_failing, case_verdict, main
+from repro.fuzz.corpus import load_case, save_case
+from repro.fuzz.oracles import run_case
+from repro.physical.faults import FAULTS, inject_fault
+
+
+class TestGrammarDeterminism:
+    def test_same_seed_same_case_stream(self):
+        first = [generate_case(11, index) for index in range(15)]
+        second = [generate_case(11, index) for index in range(15)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert generate_case(0, 3) != generate_case(1, 3)
+
+    def test_cases_are_json_native(self):
+        case = generate_case(4, 2)
+        assert json.loads(json.dumps(case)) == case
+
+    def test_same_seed_same_verdicts(self):
+        for index in range(6):
+            case = generate_case(2, index)
+            first = run_case(case)
+            second = run_case(case)
+            assert first.status == second.status
+            assert first.failures == second.failures
+
+
+class TestHealthyEngineFuzzesGreen:
+    def test_small_campaign_is_green(self):
+        result = run_campaign(0, 25)
+        assert result.cases_run == 25
+        assert result.failures == []
+
+    def test_inconsistent_case_is_rejected_with_context(self):
+        # a case every oracle rejects for the same reason is noise, not
+        # a bug -- and the per-oracle errors carry fuzz provenance
+        case = generate_case(3, 0)
+        case["queries"][0]["filters"] = [["f_nope", "<", 1]]
+        report = run_case(case, case_path="/tmp/bad-case.json")
+        assert report.status == "rejected"
+        assert report.ok
+        for outcome in report.oracles.values():
+            assert isinstance(outcome.error, ReproError)
+            assert outcome.error.fuzz_seed == 3
+            assert outcome.error.fuzz_case_path == "/tmp/bad-case.json"
+
+
+class TestInjectedBugDetection:
+    """The fault toggle plants a known bug; the fuzzer must find it."""
+
+    BUDGET = 40
+
+    def test_detected_within_bounded_case_budget(self):
+        with inject_fault(drop_agg_retraction=True):
+            result = run_campaign(0, self.BUDGET)
+        assert result.failures, (
+            "injected drop_agg_retraction bug not detected in %d cases"
+            % self.BUDGET
+        )
+        first = result.failures[0]
+        assert any(
+            "diverges from reference" in line or "hotpath" in line
+            for line in first.failures
+        )
+
+    def test_shrinker_minimizes_to_tiny_repro(self):
+        with inject_fault(drop_agg_retraction=True):
+            case = next(
+                candidate
+                for candidate in (
+                    generate_case(0, index) for index in range(self.BUDGET)
+                )
+                if _is_failing(candidate)
+            )
+            small = shrink(case, _is_failing)
+            assert _is_failing(small), "shrunk case no longer fails"
+        assert len(small["tables"]) <= 2
+        assert len(small["queries"]) <= 2
+        assert sum(len(t["rows"]) for t in small["tables"]) <= len(
+            case["tables"][0]["rows"]
+        )
+        # and without the fault the minimized case is clean
+        report = run_case(small)
+        assert report.status == "ok"
+
+    def test_fault_flag_restored_after_context(self):
+        assert not FAULTS.drop_agg_retraction
+        with inject_fault(drop_agg_retraction=True):
+            assert FAULTS.drop_agg_retraction
+        assert not FAULTS.drop_agg_retraction
+
+
+class TestCampaignCli:
+    def test_green_campaign_exits_zero(self, tmp_path, capsys):
+        status = main(
+            ["--seed", "0", "--cases", "8", "--failures-dir",
+             str(tmp_path / "failures"), "--progress-every", "0"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "8 cases" in out
+        assert not (tmp_path / "failures").exists()
+
+    def test_failing_campaign_dumps_case_with_replay_command(
+        self, tmp_path, capsys
+    ):
+        failures_dir = tmp_path / "failures"
+        with inject_fault(drop_agg_retraction=True):
+            status = main(
+                ["--seed", "0", "--cases", "3", "--shrink",
+                 "--failures-dir", str(failures_dir), "--progress-every", "0"]
+            )
+        assert status == 1
+        saved = sorted(p.name for p in failures_dir.glob("*.json"))
+        assert any(name.startswith("case-") for name in saved)
+        assert any(name.startswith("minimized-") for name in saved)
+        out = capsys.readouterr().out
+        assert "replay: python -m repro.fuzz --replay" in out
+        # the dump is self-contained: loading it back yields the case
+        path = next(iter(failures_dir.glob("case-*.json")))
+        document = json.loads(path.read_text())
+        assert document["replay"].endswith(str(path))
+        assert load_case(str(path)) == generate_case(0, document["index"])
+
+    def test_replay_of_saved_case(self, tmp_path, capsys):
+        path = tmp_path / "case.json"
+        save_case(generate_case(0, 1), str(path))
+        status = main(["--replay", str(path)])
+        assert status == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestCaseVerdictCrashHandling:
+    def test_crash_becomes_failure_line_not_abort(self, monkeypatch):
+        from repro.fuzz import oracles as oracles_mod
+
+        def boom(case, case_path=None):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(oracles_mod, "run_case", boom)
+        # cli.case_verdict resolves run_case through the oracles module
+        report, lines = case_verdict(generate_case(0, 0))
+        assert report is None
+        assert lines == ["crash: RuntimeError: engine exploded"]

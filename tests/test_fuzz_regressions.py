@@ -1,0 +1,36 @@
+"""Replay the committed fuzz regression corpus.
+
+Every bug the fuzzer has flushed out leaves its minimized repro in
+``tests/fuzz_corpus/`` (see docs/FUZZING.md for the triage workflow).
+Replaying them here keeps each fix pinned: a regression flips the
+corresponding case back to a failing verdict with a one-line repro
+command in the assertion message.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import replay, replay_command
+from repro.fuzz.corpus import iter_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+CORPUS = list(iter_corpus(CORPUS_DIR))
+
+
+def test_corpus_is_present():
+    # every bug fixed through the fuzzer must leave its repro here
+    assert len(CORPUS) >= 2
+
+
+@pytest.mark.parametrize(
+    "path", [path for path, _ in CORPUS],
+    ids=[os.path.splitext(os.path.basename(path))[0] for path, _ in CORPUS],
+)
+def test_corpus_case_replays_green(path):
+    report = replay(path)
+    assert report.status == "ok", (
+        "regression: corpus case fails again (%s)\n%s"
+        % (replay_command(path), report.describe())
+    )

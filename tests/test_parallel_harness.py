@@ -1,11 +1,19 @@
 """Parallel experiment harness: serial/parallel equality, ordering, timings."""
 
+import pickle
+
+import pytest
+
+from repro import obs
 from repro.core.optimizer import OptimizerConfig
 from repro.engine.stream import StreamConfig
+from repro.errors import ExecutionError
 from repro.harness.experiments import _uniform_sweep, fig11
 from repro.harness.parallel import (
     CellOutcome,
     ExperimentCell,
+    WorkerTraceback,
+    _CapturedError,
     resolve_jobs,
     run_cells,
     timing_report,
@@ -147,3 +155,54 @@ class TestFig11Parallel:
             assert s_missed.relative == p_missed.relative
             (_, s_by), (_, p_by) = serial.data["rows"][0], parallel.data["rows"][0]
             assert s_by[name].total_work == p_by[name].total_work
+
+
+class TestWorkerErrorPropagation:
+    """ReproErrors raised in workers arrive in the driver verbatim."""
+
+    def test_captured_error_survives_pickling_with_enrichment(self):
+        try:
+            raise ExecutionError("boom").attach_fuzz_context(
+                seed=42, case_path="/tmp/case-000.json"
+            )
+        except ExecutionError as exc:
+            captured = _CapturedError(exc)
+        captured = pickle.loads(pickle.dumps(captured))  # the pool boundary
+        rebuilt = captured.rebuild()
+        assert type(rebuilt) is ExecutionError
+        assert rebuilt.args == ("boom",)
+        assert rebuilt.fuzz_seed == 42
+        assert rebuilt.fuzz_case_path == "/tmp/case-000.json"
+        assert "fuzz seed 42" in str(rebuilt)
+        assert "case /tmp/case-000.json" in str(rebuilt)
+        assert "boom" in captured.traceback_text
+
+    def test_worker_repro_error_reraised_with_type_and_traceback(self):
+        runner = _four_query_runner()
+        relative = uniform_constraints(range(4), 0.5)
+        cells = [
+            ExperimentCell("NoShare-Uniform", relative, key="good"),
+            # a pace override missing every subplan: the worker-side
+            # executor raises ExecutionError("no pace for subplan ...")
+            ExperimentCell("NoShare-Uniform", relative, key="bad",
+                           pace_override={9999: 1}),
+        ]
+        with pytest.raises(ExecutionError, match="no pace for subplan") as info:
+            run_cells(runner, cells, jobs=2)
+        assert isinstance(info.value.__cause__, WorkerTraceback)
+        assert "run_approach" in info.value.__cause__.text
+
+    def test_worker_error_propagates_while_observing(self):
+        runner = _four_query_runner()
+        relative = uniform_constraints(range(4), 0.5)
+        cells = [
+            ExperimentCell("NoShare-Uniform", relative, key="good"),
+            ExperimentCell("NoShare-Uniform", relative, key="bad",
+                           pace_override={9999: 1}),
+        ]
+        obs.enable(process_name="test-driver")
+        try:
+            with pytest.raises(ExecutionError, match="no pace for subplan"):
+                run_cells(runner, cells, jobs=2)
+        finally:
+            obs.disable()
