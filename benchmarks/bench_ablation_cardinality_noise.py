@@ -7,7 +7,7 @@ calibrated statistic is perturbed by a random factor in [0.5, 2] before
 optimization; execution measures ground truth.
 """
 
-from common import run_and_report
+from common import bench_seed, run_and_report
 from repro.core.optimizer import OptimizerConfig
 from repro.engine.stream import StreamConfig
 from repro.harness import APPROACHES, ExperimentResult, ExperimentRunner, format_table
@@ -16,7 +16,7 @@ from repro.workloads.tpch import build_workload, generate_catalog
 
 
 def _sweep():
-    catalog = generate_catalog(scale=0.4)
+    catalog = generate_catalog(scale=0.4, seed=bench_seed())
     queries = build_workload(catalog)
     relative = random_constraints(range(len(queries)), seed=1)
     result = ExperimentResult("Ablation: inaccurate cardinality estimation")

@@ -6,7 +6,7 @@ compaction disabled, a lazy top subplan re-processes every retract/insert
 pair its eager child emitted and laziness stops paying.
 """
 
-from common import run_and_report
+from common import bench_seed, run_and_report
 from repro.engine.executor import PlanExecutor
 from repro.engine.stream import StreamConfig
 from repro.harness import ExperimentResult, format_table
@@ -15,7 +15,7 @@ from repro.workloads.tpch import build_workload, generate_catalog
 
 
 def _sweep():
-    catalog = generate_catalog(scale=0.4)
+    catalog = generate_catalog(scale=0.4, seed=bench_seed())
     queries = build_workload(catalog, ("Q15", "Q18"))  # interior aggregates
     plan = build_blocking_cut_plan(catalog, queries)
     # eager bottoms, lazy tops: the Figure-3c configuration

@@ -7,7 +7,7 @@ with no state charge the eager multiplier collapses toward 1 and the
 approaches become indistinguishable.
 """
 
-from common import run_and_report
+from common import bench_seed, run_and_report
 from repro.engine.executor import PlanExecutor
 from repro.engine.stream import StreamConfig
 from repro.harness import ExperimentResult, format_table
@@ -16,7 +16,7 @@ from repro.workloads.tpch import build_workload, generate_catalog
 
 
 def _sweep():
-    catalog = generate_catalog(scale=0.4)
+    catalog = generate_catalog(scale=0.4, seed=bench_seed())
     queries = build_workload(catalog)
     plan = build_unshared_plan(catalog, queries)
     result = ExperimentResult("Ablation: state-maintenance factor")

@@ -5,13 +5,13 @@ random constraint with the whole shared plan); NoShare-Nonuniform better
 than NoShare-Uniform. Also feeds the "Random" half of Table 1.
 """
 
-from common import bench_jobs, run_and_report
+from common import bench_jobs, bench_seed, run_and_report
 from repro.harness import fig9
 
 
 def test_fig9_random_constraints(benchmark):
     result = run_and_report(
-        benchmark, "fig09", lambda: fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), jobs=bench_jobs())
+        benchmark, "fig09", lambda: fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), jobs=bench_jobs(), catalog_seed=bench_seed())
     )
     totals = result.data["totals"]
     # the headline claim: iShare uses the least CPU

@@ -4,10 +4,10 @@ Paper shape: the MQO shared plan needs well under 100% of the work of
 running the 22 queries independently (sharing helps when paces agree).
 """
 
-from common import run_and_report
+from common import bench_seed, run_and_report
 from repro.harness import fig10
 
 
 def test_fig10_batch_sharing(benchmark):
-    result = run_and_report(benchmark, "fig10", lambda: fig10(scale=0.5))
+    result = run_and_report(benchmark, "fig10", lambda: fig10(scale=0.5, catalog_seed=bench_seed()))
     assert result.data["ratio"] < 0.85

@@ -5,13 +5,13 @@ NoShare erodes as constraints tighten (diverse absolute constraints force
 overly eager shared execution).
 """
 
-from common import bench_jobs, run_and_report
+from common import bench_jobs, bench_seed, run_and_report
 from repro.harness import fig11
 
 
 def test_fig11_uniform_22q(benchmark):
     result = run_and_report(
-        benchmark, "fig11", lambda: fig11(scale=0.5, max_pace=100, jobs=bench_jobs())
+        benchmark, "fig11", lambda: fig11(scale=0.5, max_pace=100, jobs=bench_jobs(), catalog_seed=bench_seed())
     )
     for label, by_approach in result.data["rows"]:
         assert (

@@ -4,13 +4,13 @@ Paper shape: with similar absolute constraints, Share-Uniform beats the
 NoShare approaches; iShare is lowest at every level.
 """
 
-from common import bench_jobs, run_and_report
+from common import bench_jobs, bench_seed, run_and_report
 from repro.harness import fig12
 
 
 def test_fig12_uniform_10q(benchmark):
     result = run_and_report(
-        benchmark, "fig12", lambda: fig12(scale=0.5, max_pace=100, jobs=bench_jobs())
+        benchmark, "fig12", lambda: fig12(scale=0.5, max_pace=100, jobs=bench_jobs(), catalog_seed=bench_seed())
     )
     for label, by_approach in result.data["rows"]:
         assert (

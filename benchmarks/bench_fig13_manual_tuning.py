@@ -5,13 +5,13 @@ goals, iShare still uses the least CPU; the single-pace approaches keep
 missing on the non-incrementable query.
 """
 
-from common import run_and_report
+from common import bench_seed, run_and_report
 from repro.harness import fig13
 
 
 def test_fig13_manual_tuning(benchmark):
     result = run_and_report(
-        benchmark, "fig13", lambda: fig13(scale=0.4, max_pace=100)
+        benchmark, "fig13", lambda: fig13(scale=0.4, max_pace=100, catalog_seed=bench_seed())
     )
     results = result.data["results"]
     assert (

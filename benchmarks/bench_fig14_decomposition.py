@@ -6,7 +6,7 @@ iShare (w/o unshare) suffers the overly-eager shared subplans; the
 brute-force splitter lands close to the greedy clustering.
 """
 
-from common import bench_jobs, run_and_report
+from common import bench_jobs, bench_seed, run_and_report
 from repro.harness import fig14
 
 
@@ -14,5 +14,5 @@ def test_fig14_decomposition(benchmark):
     result = run_and_report(
         benchmark, "fig14",
         lambda: fig14(scale=0.4, max_pace=100, levels=(1.0, 0.5, 0.2, 0.1),
-                      jobs=bench_jobs()),
+                      jobs=bench_jobs(), catalog_seed=bench_seed()),
     )

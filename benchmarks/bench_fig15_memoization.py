@@ -5,14 +5,15 @@ explodes with the max pace and DNFs past the cutoff; with memoization it
 stays in seconds.
 """
 
-from common import run_and_report
+from common import bench_seed, run_and_report
 from repro.harness import fig15
 
 
 def test_fig15_memoization(benchmark):
     result = run_and_report(
         benchmark, "fig15",
-        lambda: fig15(scale=0.35, max_paces=(10, 25, 50, 100), dnf_seconds=60.0),
+        lambda: fig15(scale=0.35, max_paces=(10, 25, 50, 100), dnf_seconds=60.0,
+                      catalog_seed=bench_seed()),
     )
     rows = result.data["rows"]
     # with memoization every setting finishes

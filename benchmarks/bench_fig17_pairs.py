@@ -6,13 +6,13 @@ constraints; (c) Q_A/Q_B -- iShare unshares at tight constraints and
 tracks the NoShare approaches.
 """
 
-from common import bench_jobs, run_and_report
+from common import bench_jobs, bench_seed, run_and_report
 from repro.harness import fig17
 
 
 def test_fig17_pairs(benchmark):
     result = run_and_report(
-        benchmark, "fig17", lambda: fig17(scale=0.5, max_pace=100, jobs=bench_jobs())
+        benchmark, "fig17", lambda: fig17(scale=0.5, max_pace=100, jobs=bench_jobs(), catalog_seed=bench_seed())
     )
     pairs = result.data["pairs"]
     # iShare never loses to Share-Uniform on any pair/level

@@ -5,12 +5,13 @@ single-pace approaches (NoShare-Uniform, Share-Uniform) show large
 maximum misses driven by the non-incrementable Q15.
 """
 
-from common import bench_jobs, run_and_report
+from common import bench_jobs, bench_seed, run_and_report
 from repro.harness import table1
 
 
 def test_table1_missed_latency(benchmark):
     run_and_report(
         benchmark, "table1",
-        lambda: table1(scale=0.4, max_pace=100, seeds=(1, 2), jobs=bench_jobs()),
+        lambda: table1(scale=0.4, max_pace=100, seeds=(1, 2), jobs=bench_jobs(),
+                       catalog_seed=bench_seed()),
     )

@@ -6,13 +6,13 @@ latencies (up to 25.7s and 1046% even for its best case) but the missed
 latencies are zero for iShare in the same test'.
 """
 
-from common import run_and_report
+from common import bench_seed, run_and_report
 from repro.harness import two_phase_baseline
 
 
 def test_two_phase_baseline(benchmark):
     result = run_and_report(
-        benchmark, "twophase", lambda: two_phase_baseline(scale=0.4)
+        benchmark, "twophase", lambda: two_phase_baseline(scale=0.4, catalog_seed=bench_seed())
     )
     # even its best tuning misses far worse than iShare
     assert result.data["best_two_phase_max_miss"] > result.data["ishare_max_miss"]

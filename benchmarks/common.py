@@ -21,6 +21,10 @@ Two environment knobs control the harness layer:
     observability (docs/OBSERVABILITY.md): each benchmark archives
     ``<name>.trace.json`` (Chrome trace events), ``<name>.metrics.json``
     and ``<name>.declog.jsonl`` there, scoped per benchmark.
+``REPRO_BENCH_SEED``
+    TPC-H catalog generation seed (default 5, the paper-repro default).
+    Also settable as ``pytest benchmarks/ --seed N``; the seed used is
+    recorded in every archived report.
 """
 
 import json
@@ -43,6 +47,11 @@ def bench_jobs():
     if jobs == 0:
         return os.cpu_count() or 1
     return max(1, jobs)
+
+
+def bench_seed():
+    """Catalog generation seed (``REPRO_BENCH_SEED``, default 5)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "5") or "5")
 
 
 def _maybe_enable_cache():
@@ -97,4 +106,14 @@ def run_and_report(benchmark, name, experiment):
     if timings:
         with open(os.path.join(RESULTS_DIR, "%s.timings.json" % name), "w") as handle:
             json.dump(timings, handle, indent=2)
+    data = getattr(result, "data", {})
+    meta = {
+        "benchmark": name,
+        "engine_mode": data.get("engine_mode"),
+        "columnar": data.get("columnar"),
+        "catalog_seed": data.get("catalog_seed", bench_seed()),
+    }
+    with open(os.path.join(RESULTS_DIR, "%s.meta.json" % name), "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return result

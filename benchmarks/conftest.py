@@ -4,3 +4,17 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed", type=int, default=None,
+        help="TPC-H catalog generation seed for the figure benchmarks "
+             "(default 5; also settable via REPRO_BENCH_SEED)",
+    )
+
+
+def pytest_configure(config):
+    seed = config.getoption("--seed", default=None)
+    if seed is not None:
+        os.environ["REPRO_BENCH_SEED"] = str(seed)

@@ -21,9 +21,20 @@ from ..obs import OBS
 
 
 class Buffer:
-    """An append-only delta log with optional prefix compaction."""
+    """An append-only delta log with optional prefix compaction.
 
-    __slots__ = ("name", "deltas", "base", "pinned", "_readers")
+    Columnar producers may append :class:`~repro.engine.columns
+    .ColumnBatch` segments instead of delta lists (:meth:`append_segment`).
+    Segments stay columnar in a pending tail as long as every consumer is
+    batch-aware; the first consumer that needs plain deltas (a batched
+    reader, ``query_result_view``) forces :meth:`materialize`, which
+    converts the pending tail in order.  Logical offsets, ``len()`` and
+    compaction semantics are identical either way, so producers and
+    consumers may mix freely.
+    """
+
+    __slots__ = ("name", "deltas", "base", "pinned", "_readers",
+                 "_pending", "_pending_len")
 
     def __init__(self, name):
         self.name = name
@@ -31,21 +42,43 @@ class Buffer:
         self.base = 0
         self.pinned = False
         self._readers = []
+        self._pending = []  # [(start offset, ColumnBatch)], tail order
+        self._pending_len = 0
 
     def append(self, deltas):
+        if self._pending:
+            self.materialize()
         self.deltas.extend(deltas)
         if OBS.enabled:
             OBS.metrics.gauge(
                 "engine.buffer.occupancy", buffer=self.name
-            ).set(len(self.deltas))
+            ).set(len(self.deltas) + self._pending_len)
+
+    def append_segment(self, batch):
+        """Append a columnar segment without converting it to deltas."""
+        self._pending.append((self.end(), batch))
+        self._pending_len += len(batch)
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "engine.buffer.occupancy", buffer=self.name
+            ).set(len(self.deltas) + self._pending_len)
+
+    def materialize(self):
+        """Convert pending columnar segments to deltas, preserving order."""
+        if self._pending:
+            for _, batch in self._pending:
+                self.deltas.extend(batch.to_deltas())
+            self._pending = []
+            self._pending_len = 0
+        return self.deltas
 
     def end(self):
         """The logical offset one past the last appended delta."""
-        return self.base + len(self.deltas)
+        return self.base + len(self.deltas) + self._pending_len
 
     def __len__(self):
         """Total deltas ever appended (compaction does not shrink this)."""
-        return self.base + len(self.deltas)
+        return self.base + len(self.deltas) + self._pending_len
 
     def reader(self):
         reader = BufferReader(self)
@@ -61,12 +94,32 @@ class Buffer:
         pinned one must stay replayable from offset 0).  Returns the
         number of deltas dropped.
         """
-        if self.pinned or not self._readers or not self.deltas:
+        if self.pinned or not self._readers:
+            return 0
+        if not self.deltas and not self._pending:
             return 0
         horizon = min(reader.offset for reader in self._readers)
         drop = horizon - self.base
         if drop <= 0:
             return 0
+        materialized_len = len(self.deltas)
+        if drop > materialized_len:
+            # the horizon reaches into the columnar tail: drop fully
+            # consumed segments without ever materializing them
+            kept = []
+            for start, batch in self._pending:
+                seg_end = start + len(batch)
+                if seg_end <= horizon:
+                    self._pending_len -= len(batch)
+                elif start >= horizon:
+                    kept.append((start, batch))
+                else:  # partially consumed segment: keep it whole
+                    kept.append((start, batch))
+                    horizon = start
+            self._pending = kept
+            drop = horizon - self.base
+            if drop <= 0:
+                return 0
         del self.deltas[:drop]
         self.base = horizon
         if OBS.enabled:
@@ -79,6 +132,8 @@ class Buffer:
         """Empty the log and rewind every registered reader (tree reuse)."""
         self.deltas.clear()
         self.base = 0
+        self._pending = []
+        self._pending_len = 0
         for reader in self._readers:
             reader.offset = 0
 
@@ -98,6 +153,8 @@ class BufferReader:
     def read_new(self):
         """All deltas appended since the previous call."""
         buffer = self.buffer
+        if buffer._pending:
+            buffer.materialize()
         start = self.offset - buffer.base
         if start < 0:
             raise ExecutionError(
@@ -110,6 +167,41 @@ class BufferReader:
         new = deltas[start:]
         self.offset = buffer.base + len(deltas)
         return new
+
+    def read_new_segments(self):
+        """Everything appended since the previous call, columnar-aware.
+
+        Returns ``(deltas, batches)``: a plain delta list for the
+        materialized span plus the pending columnar segments, in order.
+        Batch-aware consumers (the columnar source) use this to skip the
+        deltas round-trip entirely when the producer was columnar; plain
+        producers just yield ``(deltas, [])``.
+        """
+        buffer = self.buffer
+        start = self.offset - buffer.base
+        if start < 0:
+            raise ExecutionError(
+                "reader of %r is behind the compaction horizon "
+                "(offset %d < base %d)" % (buffer.name, self.offset, buffer.base)
+            )
+        deltas = buffer.deltas
+        prefix = deltas[start:] if start < len(deltas) else []
+        batches = []
+        if buffer._pending:
+            materialized_end = buffer.base + len(deltas)
+            cursor = max(self.offset, materialized_end)
+            for seg_start, batch in buffer._pending:
+                seg_end = seg_start + len(batch)
+                if seg_end <= cursor:
+                    continue
+                if seg_start < cursor:
+                    # mid-segment cursor (cannot happen with aligned
+                    # executions; defensive): force the plain path
+                    buffer.materialize()
+                    return self.read_new(), []
+                batches.append(batch)
+        self.offset = buffer.end()
+        return prefix, batches
 
     def remaining(self):
         return self.buffer.end() - self.offset

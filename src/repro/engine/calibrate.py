@@ -18,9 +18,23 @@ import logging
 from ..cost import cache as calibration_cache
 from ..cost.stats import NodeStats
 from ..obs import OBS
+from ..physical.hotpath import columnar_available
 from ..physical.operators import AggregateExec, JoinExec, SourceExec
 from .executor import PlanExecutor
 from .stream import StreamConfig
+
+# the columnar twins expose the identical stats surface
+# (scanned/kept/in/out totals and per-q dicts, decorations counters), so
+# the stats walker treats them interchangeably; ColumnarAggregateExec
+# subclasses AggregateExec and needs no separate entry
+if columnar_available():
+    from ..physical.columnar import ColumnarJoinExec, ColumnarSourceExec
+
+    _SOURCE_EXECS = (SourceExec, ColumnarSourceExec)
+    _JOIN_EXECS = (JoinExec, ColumnarJoinExec)
+else:  # pragma: no cover - the container bakes numpy in
+    _SOURCE_EXECS = (SourceExec,)
+    _JOIN_EXECS = (JoinExec,)
 
 logger = logging.getLogger(__name__)
 
@@ -197,7 +211,7 @@ def _replay_cached(plan, stream_config, payload):
 
 
 def _collect_stats(exec_op):
-    if isinstance(exec_op, SourceExec):
+    if isinstance(exec_op, _SOURCE_EXECS):
         stats = NodeStats("source")
         stats.scanned_total = float(exec_op.scanned_total)
         stats.kept_total = float(exec_op.kept_total)
@@ -205,7 +219,7 @@ def _collect_stats(exec_op):
         _fill_filter_sel(stats, exec_op.decorations)
         exec_op.node.stats = stats
         return
-    if isinstance(exec_op, JoinExec):
+    if isinstance(exec_op, _JOIN_EXECS):
         _collect_stats(exec_op.left)
         _collect_stats(exec_op.right)
         stats = NodeStats("join")

@@ -1,0 +1,300 @@
+"""Struct-of-arrays delta batches for the columnar engine backend.
+
+A :class:`ColumnBatch` is the columnar twin of a ``list[Delta]``: one
+NumPy array per row column plus parallel int64 arrays for the delta sign
+(signed multiplicity) and the SharedDB query bitvector.  Conversion
+happens at subplan buffer boundaries only -- buffers, readers and the
+optimizer keep trafficking in plain :class:`~repro.relational.tuples
+.Delta` lists, so every non-columnar consumer is untouched.
+
+Columns are **late-materialized**: a batch built from deltas (or from a
+scalar join probe) carries the original Python row tuples and builds a
+column array only when an operator actually reads that column.  At
+fig11-sized batches most columns are never read -- a source feeds a join
+that touches one key column, an aggregate touches a group column and a
+value column -- so eager per-column conversion was pure overhead.  The
+vectorized kernels that need the full struct-of-arrays view (the large-
+batch join probe) ask for ``batch.columns`` and pay materialization once,
+amortized over the batch.
+
+Type fidelity is the load-bearing invariant: values that cross back into
+tuple-land must be *Python* scalars (``np.int64`` is not a Python
+``int``, so it would fail the exact-int comparison in
+:func:`repro.engine.compare.values_close`).  Columns are therefore built
+with strict single-type detection -- ``int``/``float``/``bool`` columns
+get native dtypes, everything else (strings, mixed types, out-of-range
+ints) falls back to ``object`` dtype, whose ``tolist`` round-trips the
+original objects untouched.  Row-backed batches are even stronger: their
+``rows()`` ARE the original tuples, no round-trip at all.
+"""
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    np = None
+
+from ..relational.tuples import Delta
+
+_NEW = Delta.__new__
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+_INT_KIND = frozenset((int,))
+_FLOAT_KIND = frozenset((float,))
+_BOOL_KIND = frozenset((bool,))
+
+
+def available():
+    """Whether NumPy imported; mirrors ``hotpath.columnar_available``."""
+    return np is not None
+
+
+def column_array(values):
+    """A NumPy column for a sequence of Python values, type-faithfully.
+
+    Uniform ``bool``/``int``/``float`` sequences get native dtypes (the
+    vectorizable fast path); anything else -- strings, ``None``, mixed
+    types, ints outside int64 -- becomes an ``object`` array so that
+    ``tolist`` returns the original objects bit-for-bit.
+    """
+    values = list(values)
+    if values:
+        # set(map(type, ...)) runs at C speed; ``type`` is exact, so a
+        # bool mixed into an int column still falls through to object
+        kinds = set(map(type, values))
+        if kinds == _INT_KIND:
+            try:
+                return np.array(values, dtype=np.int64)
+            except OverflowError:  # out-of-int64 values stay objects
+                pass
+        elif kinds == _FLOAT_KIND:
+            return np.array(values, dtype=np.float64)
+        elif kinds == _BOOL_KIND:
+            return np.array(values, dtype=np.bool_)
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr
+
+
+def concat_columns(arrays):
+    """Concatenate one logical column's chunks without dtype corruption.
+
+    ``np.concatenate`` silently promotes ``int64 + float64`` to
+    ``float64`` (turning ``5`` into ``5.0`` on the way back to
+    tuple-land), so mismatched chunk dtypes are rebuilt through
+    :func:`column_array` instead.
+    """
+    if len(arrays) == 1:
+        return arrays[0]
+    dtype = arrays[0].dtype
+    for arr in arrays[1:]:
+        if arr.dtype != dtype:
+            merged = []
+            for chunk in arrays:
+                merged.extend(chunk.tolist())
+            return column_array(merged)
+    return np.concatenate(arrays)
+
+
+class ColumnBatch:
+    """One delta batch as (lazy) struct-of-arrays.
+
+    ``signs`` and ``bits`` are always parallel int64 arrays.  The row
+    columns live in one of two states:
+
+    * **column-backed** -- ``_columns`` is a tuple of per-column arrays
+      (the output of a vectorized kernel);
+    * **row-backed** -- ``_columns`` is None and ``_rows`` holds the
+      Python row tuples; individual columns materialize on first access
+      via :meth:`column` and are cached.
+
+    Query bitvectors fit int64 because the executor only dispatches to
+    the columnar backend when every query id is below 62 (``~0`` table
+    bitvectors are ``-1``, which ANDs correctly in two's complement).
+    """
+
+    __slots__ = ("_columns", "signs", "bits", "_rows", "width", "_col_cache")
+
+    def __init__(self, columns, signs, bits):
+        self._columns = columns
+        self.signs = signs
+        self.bits = bits
+        self._rows = None
+        self.width = len(columns)
+        self._col_cache = None
+
+    def __len__(self):
+        return len(self.signs)
+
+    @classmethod
+    def empty(cls, width):
+        return cls.from_rows(
+            [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            width,
+        )
+
+    @classmethod
+    def from_rows(cls, rows, signs, bits, width):
+        """A row-backed batch; columns materialize lazily on access."""
+        batch = cls.__new__(cls)
+        batch._columns = None
+        batch.signs = signs
+        batch.bits = bits
+        batch._rows = rows
+        batch.width = width
+        batch._col_cache = None
+        return batch
+
+    @classmethod
+    def from_deltas(cls, deltas, width):
+        n = len(deltas)
+        if n == 0:
+            return cls.empty(width)
+        signs = np.array([d.sign for d in deltas], dtype=np.int64)
+        bits = np.array([d.bits for d in deltas], dtype=np.int64)
+        # the source tuples ARE the Python-typed rows; keeping them (and
+        # columnizing lazily) makes every row-wise consumer free
+        rows = [d.row for d in deltas] if width else [()] * n
+        return cls.from_rows(rows, signs, bits, width)
+
+    @property
+    def columns(self):
+        """The full struct-of-arrays view (materializes a row-backed
+        batch; vectorized kernels that gather every column pay this once
+        per batch)."""
+        columns = self._columns
+        if columns is None:
+            if not self.width:
+                columns = ()
+            elif not self._rows:
+                columns = tuple(
+                    np.empty(0, dtype=object) for _ in range(self.width)
+                )
+            else:
+                cache = self._col_cache or {}
+                cols = zip(*self._rows)
+                columns = tuple(
+                    cache[i] if i in cache else column_array(col)
+                    for i, col in enumerate(cols)
+                )
+            self._columns = columns
+            self._col_cache = None
+        return columns
+
+    def column(self, i):
+        """One column's array, materialized (and cached) on demand."""
+        columns = self._columns
+        if columns is not None:
+            return columns[i]
+        cache = self._col_cache
+        if cache is None:
+            cache = self._col_cache = {}
+        arr = cache.get(i)
+        if arr is None:
+            arr = cache[i] = column_array([row[i] for row in self._rows])
+        return arr
+
+    def column_values(self, i):
+        """One column as a Python-typed list (no array detour when the
+        batch is row-backed)."""
+        rows = self._rows
+        if rows is not None:
+            return [row[i] for row in rows]
+        return self._columns[i].tolist()
+
+    def rows(self):
+        """Python-typed row tuples (cached per batch)."""
+        rows = self._rows
+        if rows is None:
+            if self._columns:
+                rows = list(zip(*(c.tolist() for c in self._columns)))
+            else:
+                rows = [()] * len(self.signs)
+            self._rows = rows
+        return rows
+
+    def take(self, indices):
+        """Row subset by index array (columns, signs and bits together).
+
+        Row-backed batches gather rows and stay row-backed; column-backed
+        batches gather arrays.
+        """
+        if self._columns is None:
+            rows = self._rows
+            return ColumnBatch.from_rows(
+                [rows[i] for i in indices.tolist()],
+                self.signs[indices],
+                self.bits[indices],
+                self.width,
+            )
+        return ColumnBatch(
+            tuple(c[indices] for c in self._columns),
+            self.signs[indices],
+            self.bits[indices],
+        )
+
+    def with_bits(self, bits):
+        """Same rows/columns, new bits (shares backing storage)."""
+        if self._columns is not None:
+            batch = ColumnBatch(self._columns, self.signs, bits)
+            batch._rows = self._rows
+            return batch
+        batch = ColumnBatch.from_rows(self._rows, self.signs, bits,
+                                      self.width)
+        batch._col_cache = self._col_cache
+        return batch
+
+    def to_deltas(self):
+        """Back to tuple-land; every value is a Python scalar again."""
+        out = []
+        append = out.append
+        new = _NEW
+        cls = Delta
+        for row, sign, bits in zip(
+            self.rows(), self.signs.tolist(), self.bits.tolist()
+        ):
+            record = new(cls)
+            record.row = row
+            record.sign = sign
+            record.bits = bits
+            append(record)
+        return out
+
+
+def as_columns(out, width):
+    """Adapt a child operator's output (batch or delta list) to columns."""
+    if isinstance(out, ColumnBatch):
+        return out
+    return ColumnBatch.from_deltas(out, width)
+
+
+def as_deltas(out):
+    """Adapt an operator's output (batch or delta list) to a delta list."""
+    if isinstance(out, ColumnBatch):
+        return out.to_deltas()
+    return out
+
+
+def concat_batches(batches, width):
+    """Concatenate output batches in order (used by the columnar join).
+
+    If every chunk is row-backed the concatenation is a list merge and
+    the result stays row-backed (lazy); otherwise columns are
+    materialized and concatenated dtype-safely.
+    """
+    if not batches:
+        return ColumnBatch.empty(width)
+    if len(batches) == 1:
+        return batches[0]
+    signs = np.concatenate([b.signs for b in batches])
+    bits = np.concatenate([b.bits for b in batches])
+    if all(b._columns is None for b in batches):
+        rows = []
+        for b in batches:
+            rows.extend(b._rows)
+        return ColumnBatch.from_rows(rows, signs, bits, width)
+    columns = tuple(
+        concat_columns([b.columns[i] for b in batches]) for i in range(width)
+    )
+    return ColumnBatch(columns, signs, bits)

@@ -24,7 +24,11 @@ from fractions import Fraction
 from ..errors import ExecutionError
 from ..mqo.nodes import SubplanRef, TableRef
 from ..obs import OBS
-from ..physical.hotpath import HOTPATH, compile_cache_stats
+from ..physical.hotpath import (
+    HOTPATH,
+    columnar_available,
+    compile_cache_stats,
+)
 from ..physical.operators import AggregateExec, JoinExec, SourceExec
 from ..physical.work import WorkMeter
 from ..relational.tuples import consolidate
@@ -62,7 +66,13 @@ class CompiledSubplan:
         tuple_before = meter.input_units + meter.output_units + meter.rescan_units
         state_before = meter.state_units
         out = self.root_exec.advance()
-        self.buffer.append(out)
+        if type(out) is list:
+            self.buffer.append(out)
+        else:
+            # columnar root: the batch goes into the buffer as a pending
+            # segment; deltas materialize only if a non-columnar consumer
+            # (a batched reader, query_result_view) actually needs them
+            self.buffer.append_segment(out)
         self.executions += 1
         tuple_delta = (
             meter.input_units + meter.output_units + meter.rescan_units
@@ -86,10 +96,26 @@ class PlanExecutor:
         self.catalog = catalog or plan.catalog
         self.compiled = None  # filled per run
         self._runtime = None  # reusable compiled tree (HOTPATH.reuse_trees)
+        self._runtime_columnar = None  # backend the cached tree was built for
 
     # -- compilation ---------------------------------------------------------
 
+    def _columnar_active(self):
+        """Whether this plan compiles to the columnar backend right now.
+
+        Requires the mode toggle, an importable NumPy (and no kill
+        switch), and every query id below 62 so bitvectors fit the
+        int64 ``bits`` array (``~0`` table bitvectors are ``-1``, which
+        ANDs correctly in two's complement).
+        """
+        return (
+            HOTPATH.columnar
+            and columnar_available()
+            and max(self.plan.query_roots, default=0) < 62
+        )
+
     def _compile(self):
+        self._runtime_columnar = self._columnar_active()
         table_streams = {}
         table_buffers = {}
         for subplan in self.plan.topological_order():
@@ -119,7 +145,11 @@ class PlanExecutor:
         meters, hash tables, aggregate groups, stats counters) so a reused
         tree is indistinguishable from a freshly compiled one.
         """
-        if HOTPATH.reuse_trees and self._runtime is not None:
+        if (
+            HOTPATH.reuse_trees
+            and self._runtime is not None
+            and self._runtime_columnar == self._columnar_active()
+        ):
             table_streams, table_buffers, compiled, order = self._runtime
             for stream in table_streams.values():
                 stream.reset()
@@ -140,6 +170,16 @@ class PlanExecutor:
 
     def _compile_node(self, node, subplan, meter, table_buffers, compiled):
         mask = subplan.query_mask
+        if self._runtime_columnar:
+            from ..physical.columnar import (
+                ColumnarAggregateExec as aggregate_cls,
+                ColumnarJoinExec as join_cls,
+                ColumnarSourceExec as source_cls,
+            )
+        else:
+            source_cls = SourceExec
+            join_cls = JoinExec
+            aggregate_cls = AggregateExec
         if node.kind == "source":
             ref = node.ref
             consolidate_reads = False
@@ -157,7 +197,7 @@ class PlanExecutor:
                 consolidate_reads = self.stream_config.compact_buffers
             else:
                 raise ExecutionError("unknown source ref %r" % (ref,))
-            return SourceExec(
+            return source_cls(
                 node, reader, mask, meter, self.stats_mode,
                 consolidate_reads=consolidate_reads,
             )
@@ -167,11 +207,11 @@ class PlanExecutor:
         ]
         state_factor = self.stream_config.state_factor
         if node.kind == "join":
-            return JoinExec(
+            return join_cls(
                 node, children[0], children[1], meter, self.stats_mode,
                 state_factor=state_factor,
             )
-        return AggregateExec(
+        return aggregate_cls(
             node, children[0], mask, meter, self.stats_mode,
             state_factor=state_factor,
         )
@@ -233,6 +273,15 @@ class PlanExecutor:
         if pace_config is None:
             pace_config = {sid: len(points) for sid, points in fractions.items()}
         result = RunResult(pace_config, self.stream_config)
+        if self._runtime_columnar:
+            result.metadata["engine_mode"] = "columnar"
+        else:
+            # the plan may fall back (kill switch, >=62 query ids), so
+            # record what actually ran, not what was requested
+            result.metadata["engine_mode"] = (
+                "batched" if HOTPATH.batched else "reference"
+            )
+        result.metadata["columnar"] = bool(self._runtime_columnar)
         overhead = self.stream_config.execution_overhead
         run_start_us = OBS.tracer.now_us() if OBS.enabled else 0.0
         for fraction in sorted(schedule):
@@ -282,7 +331,7 @@ class PlanExecutor:
             result.query_final_work[qid] = final
             if collect_results:
                 result.query_results[qid] = query_result_view(
-                    self.plan, qid, compiled[root.sid].buffer.deltas
+                    self.plan, qid, compiled[root.sid].buffer.materialize()
                 )
         return result
 

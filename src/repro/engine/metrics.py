@@ -52,6 +52,10 @@ class RunResult:
         self.subplan_final_work = {}
         self.query_final_work = {}
         self.query_results = {}
+        #: backend attribution (engine_mode label, columnar on/off),
+        #: filled by the executor so archived results say which engine
+        #: path produced them
+        self.metadata = {}
 
     def add_record(self, record, is_final):
         self.records.append(record)

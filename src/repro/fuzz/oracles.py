@@ -14,6 +14,18 @@ Every case runs through multiple pipelines that must agree:
 ``shared-pace1``
     the shared plan with every pace forced to 1 (one-shot batch
     recompute of every trigger).
+``shared-columnar``
+    the same plan and paces through the columnar vectorized backend
+    (``engine_mode(columnar=True)``); results must be tolerance-close
+    to the reference like every oracle, and *work accounting* must be
+    exactly identical to the batched run (total work, every execution
+    record, subplan final work).  Skipped when NumPy is unavailable or
+    the kill switch is set.
+``shared-columnar-vec``
+    the columnar backend again with ``SCALAR_PROBE_MAX`` forced to 0, so
+    the join's vectorized arange/repeat probe runs even on fuzz-sized
+    batches (the default adaptive threshold would pick the scalar probe
+    for them).  Same exactness contract as ``shared-columnar``.
 ``decomposed``
     optionally, the shared plan after a random two-way decomposition
     (:func:`repro.core.regenerate.apply_split`) of one shared subplan,
@@ -38,7 +50,7 @@ from ..engine.compare import REL_TOL, ABS_TOL, result_diff, results_close
 from ..engine.executor import PlanExecutor
 from ..errors import OptimizationError, ReproError
 from ..mqo.merge import MQOOptimizer, build_unshared_plan
-from ..physical.hotpath import engine_mode
+from ..physical.hotpath import columnar_available, engine_mode
 from . import grammar
 
 #: relative slack allowed on total_work vs the sum of execution records
@@ -122,7 +134,8 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
 
     shared_state = {}
 
-    def run_shared(batched=None, pace1=False):
+    def run_shared(batched=None, pace1=False, columnar=False,
+                   probe_max=None):
         def runner():
             if "plan" not in shared_state:
                 shared_state["plan"] = MQOOptimizer(catalog).build_shared_plan(
@@ -137,7 +150,18 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
                 if pace1
                 else shared_state["paces"]
             )
-            if batched is None:
+            if columnar:
+                from ..physical import columnar as columnar_mod
+
+                saved = columnar_mod.SCALAR_PROBE_MAX
+                if probe_max is not None:
+                    columnar_mod.SCALAR_PROBE_MAX = probe_max
+                try:
+                    with engine_mode(batched=True, columnar=True):
+                        result = PlanExecutor(plan, config).run(paces)
+                finally:
+                    columnar_mod.SCALAR_PROBE_MAX = saved
+            elif batched is None:
                 result = PlanExecutor(plan, config).run(paces)
             else:
                 with engine_mode(batched=batched):
@@ -149,6 +173,12 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
     attempt("shared-batched", run_shared(batched=True))
     attempt("shared-unbatched", run_shared(batched=False))
     attempt("shared-pace1", run_shared(pace1=True))
+    if columnar_available():
+        # default thresholds (scalar probe on fuzz-sized batches), plus a
+        # forced-vectorized run so the arange/repeat probe is fuzzed too
+        attempt("shared-columnar", run_shared(columnar=True))
+        attempt("shared-columnar-vec",
+                run_shared(columnar=True, probe_max=0))
 
     if case.get("decompose") and "plan" in shared_state:
         target = _decomposition_target(shared_state["plan"], case["decompose"])
@@ -258,6 +288,16 @@ def _verdict(case, queries, outcomes, reference, rel_tol, abs_tol):
         and batched.error is None and unbatched.error is None
     ):
         failures.extend(_check_bit_identity(batched.result, unbatched.result))
+
+    for oracle in ("shared-columnar", "shared-columnar-vec"):
+        columnar = outcomes.get(oracle)
+        if (
+            batched is not None and columnar is not None
+            and batched.error is None and columnar.error is None
+        ):
+            failures.extend(
+                _check_work_identity(columnar.result, batched.result)
+            )
     return failures
 
 
@@ -347,4 +387,38 @@ def _check_bit_identity(batched, unbatched):
         failures.append("hotpath: execution records differ between paths")
     if batched.subplan_final_work != unbatched.subplan_final_work:
         failures.append("hotpath: subplan final work differs between paths")
+    return failures
+
+
+def _check_work_identity(columnar, batched):
+    """Columnar work accounting must match the batched path *exactly*.
+
+    Query results are compared against the reference with tolerance like
+    any oracle (float segment sums may associate differently), but every
+    WorkMeter-derived number is charged from array lengths that must
+    equal the batched path's list lengths, so the slightest drift here
+    means a dropped/duplicated delta or a divergent emission decision.
+    """
+    failures = []
+    if columnar.total_work != batched.total_work:
+        failures.append(
+            "columnar: total_work differs columnar=%r batched=%r"
+            % (columnar.total_work, batched.total_work)
+        )
+    columnar_records = [
+        (r.sid, r.fraction, r.work, r.latency_work, r.output_count)
+        for r in columnar.records
+    ]
+    batched_records = [
+        (r.sid, r.fraction, r.work, r.latency_work, r.output_count)
+        for r in batched.records
+    ]
+    if columnar_records != batched_records:
+        failures.append(
+            "columnar: execution records differ from the batched path"
+        )
+    if columnar.subplan_final_work != batched.subplan_final_work:
+        failures.append(
+            "columnar: subplan final work differs from the batched path"
+        )
     return failures

@@ -36,30 +36,40 @@ from . import experiments
 
 EXPERIMENTS = {
     "fig9": lambda args, config: experiments.fig9(
-        args.scale, args.max_pace, config=config, jobs=args.jobs
+        args.scale, args.max_pace, config=config, jobs=args.jobs,
+        catalog_seed=args.seed,
     ),
-    "fig10": lambda args, config: experiments.fig10(args.scale, config=config),
+    "fig10": lambda args, config: experiments.fig10(
+        args.scale, config=config, catalog_seed=args.seed
+    ),
     "fig11": lambda args, config: experiments.fig11(
-        args.scale, args.max_pace, config=config, jobs=args.jobs
+        args.scale, args.max_pace, config=config, jobs=args.jobs,
+        catalog_seed=args.seed,
     ),
     "fig12": lambda args, config: experiments.fig12(
-        args.scale, args.max_pace, config=config, jobs=args.jobs
+        args.scale, args.max_pace, config=config, jobs=args.jobs,
+        catalog_seed=args.seed,
     ),
     "fig13": lambda args, config: experiments.fig13(
-        args.scale, args.max_pace, config=config
+        args.scale, args.max_pace, config=config, catalog_seed=args.seed
     ),
     "fig14": lambda args, config: experiments.fig14(
-        args.scale, args.max_pace, config=config, jobs=args.jobs
+        args.scale, args.max_pace, config=config, jobs=args.jobs,
+        catalog_seed=args.seed,
     ),
-    "fig15": lambda args, config: experiments.fig15(args.scale),
+    "fig15": lambda args, config: experiments.fig15(
+        args.scale, catalog_seed=args.seed
+    ),
     "fig16": lambda args, config: experiments.fig16(
-        args.scale, args.max_pace, config=config
+        args.scale, args.max_pace, config=config, catalog_seed=args.seed
     ),
     "fig17": lambda args, config: experiments.fig17(
-        args.scale, args.max_pace, config=config, jobs=args.jobs
+        args.scale, args.max_pace, config=config, jobs=args.jobs,
+        catalog_seed=args.seed,
     ),
     "table1": lambda args, config: experiments.table1(
-        args.scale, args.max_pace, config=config, jobs=args.jobs
+        args.scale, args.max_pace, config=config, jobs=args.jobs,
+        catalog_seed=args.seed,
     ),
 }
 
@@ -80,6 +90,9 @@ def main(argv=None):
                         help="max pace J (default 100, as in the paper)")
     parser.add_argument("--state-factor", type=float, default=0.3,
                         help="per-entry state maintenance charge")
+    parser.add_argument("--seed", type=int, default=5,
+                        help="TPC-H catalog generation seed (default 5); "
+                             "recorded in every report header/export")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for independent experiment "
                              "cells (default 1 = serial, 0 = all cores)")

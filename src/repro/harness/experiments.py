@@ -17,6 +17,7 @@ from ..engine.calibrate import calibrate_plan
 from ..engine.executor import PlanExecutor
 from ..engine.stream import StreamConfig
 from ..mqo.merge import MQOOptimizer, build_unshared_plan
+from ..physical.hotpath import HOTPATH, columnar_available, engine_mode_label
 from ..workloads.constraints import CONSTRAINT_LEVELS, random_constraints, uniform_constraints
 from ..obs import OBS
 from ..workloads.tpch import (
@@ -50,6 +51,12 @@ class ExperimentResult:
         self.sections = []
         self.tables = []  # (headers, rows) for CSV export
         self.data = {}
+        # backend attribution stamped into every report header so archived
+        # results say which engine path produced them
+        self.engine_mode = engine_mode_label()
+        self.columnar = bool(HOTPATH.columnar and columnar_available())
+        self.data["engine_mode"] = self.engine_mode
+        self.data["columnar"] = self.columnar
 
     def add_section(self, text):
         self.sections.append(text)
@@ -60,7 +67,11 @@ class ExperimentResult:
         self.add_section(format_table(headers, rows, title))
 
     def text(self):
-        return ("\n\n").join(["== %s ==" % self.name] + self.sections)
+        header = "== %s ==" % self.name
+        engine = "[engine: %s | columnar %s]" % (
+            self.engine_mode, "on" if self.columnar else "off"
+        )
+        return ("\n\n").join([header, engine] + self.sections)
 
     def to_csv(self):
         """All recorded tables as one CSV string (blank line between)."""
@@ -121,13 +132,15 @@ def _finish_sweep(result, outcomes, jobs, wall_seconds):
 
 # -- Figure 9: random relative constraints -------------------------------------
 
-def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
+def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1,
+         catalog_seed=5):
     """Mean/min/max total execution time over random constraint sets."""
     config = config or default_config(max_pace)
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     queries = build_workload(catalog)
     runner = ExperimentRunner(catalog, queries, config)
     result = ExperimentResult("Figure 9: tests of random relative constraints")
+    result.data["catalog_seed"] = catalog_seed
     totals = {name: [] for name in APPROACHES}
     missed_all = {name: None for name in APPROACHES}
     per_seed = []
@@ -165,10 +178,10 @@ def fig9(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
 
 # -- Figure 10: batch execution of the shared plan -----------------------------
 
-def fig10(scale=0.5, config=None):
+def fig10(scale=0.5, config=None, catalog_seed=5):
     """Shared-plan batch work relative to independent batch execution."""
     config = config or default_config()
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     queries = build_workload(catalog)
     unshared = build_unshared_plan(catalog, queries)
     unshared_run = PlanExecutor(unshared, config.stream_config).run(
@@ -180,6 +193,7 @@ def fig10(scale=0.5, config=None):
     )
     ratio = shared_run.total_work / unshared_run.total_work
     result = ExperimentResult("Figure 10: batch execution (22 queries)")
+    result.data["catalog_seed"] = catalog_seed
     result.add_table(
         ("Plan", "Total work", "Relative"),
         [
@@ -196,12 +210,14 @@ def fig10(scale=0.5, config=None):
 
 # -- Figures 11/12: uniform relative constraints --------------------------------
 
-def _uniform_sweep(names, title, scale, max_pace, levels, config, jobs=1):
+def _uniform_sweep(names, title, scale, max_pace, levels, config, jobs=1,
+                   catalog_seed=5):
     config = config or default_config(max_pace)
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     queries = build_workload(catalog, names)
     runner = ExperimentRunner(catalog, queries, config)
     result = ExperimentResult(title)
+    result.data["catalog_seed"] = catalog_seed
     rows_by_label = []
     missed_all = {name: None for name in APPROACHES}
     cells = [
@@ -226,32 +242,39 @@ def _uniform_sweep(names, title, scale, max_pace, levels, config, jobs=1):
     return _finish_sweep(result, outcomes, jobs, wall_seconds)
 
 
-def fig11(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1):
+def fig11(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
+          jobs=1, catalog_seed=5):
     """Uniform relative constraints over all 22 queries."""
     return _uniform_sweep(
         ALL_QUERY_NAMES,
         "Figure 11: uniform relative constraints (22 queries)",
-        scale, max_pace, levels, config, jobs=jobs,
+        scale, max_pace, levels, config, jobs=jobs, catalog_seed=catalog_seed,
     )
 
 
-def fig12(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1):
+def fig12(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
+          jobs=1, catalog_seed=5):
     """Uniform relative constraints over the sharing-friendly 10 queries."""
     return _uniform_sweep(
         SHARING_FRIENDLY,
         "Figure 12: uniform relative constraints (10 queries)",
-        scale, max_pace, levels, config, jobs=jobs,
+        scale, max_pace, levels, config, jobs=jobs, catalog_seed=catalog_seed,
     )
 
 
 # -- Table 1: missed latencies ---------------------------------------------------
 
-def table1(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
+def table1(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1,
+           catalog_seed=5):
     """Missed latencies of random and uniform relative constraints."""
-    random_result = fig9(scale, max_pace, seeds, config, jobs=jobs)
-    uniform22 = fig11(scale, max_pace, config=config, jobs=jobs)
-    uniform10 = fig12(scale, max_pace, config=config, jobs=jobs)
+    random_result = fig9(scale, max_pace, seeds, config, jobs=jobs,
+                         catalog_seed=catalog_seed)
+    uniform22 = fig11(scale, max_pace, config=config, jobs=jobs,
+                      catalog_seed=catalog_seed)
+    uniform10 = fig12(scale, max_pace, config=config, jobs=jobs,
+                      catalog_seed=catalog_seed)
     result = ExperimentResult("Table 1: missed latencies (random and uniform)")
+    result.data["catalog_seed"] = catalog_seed
     rows = [
         missed_latency_row(name, random_result.data["missed"][name])
         for name in APPROACHES
@@ -270,7 +293,8 @@ def table1(scale=0.5, max_pace=100, seeds=(1, 2, 3), config=None, jobs=1):
 
 # -- Figure 13 / Table 2: manually tuned paces -----------------------------------
 
-def fig13(scale=0.5, max_pace=100, level=0.1, config=None, tuning_rounds=4):
+def fig13(scale=0.5, max_pace=100, level=0.1, config=None, tuning_rounds=4,
+          catalog_seed=5):
     """Manually tuned pace configurations at relative constraint ``level``.
 
     NoShare-Uniform and Share-Uniform are tuned by searching paces
@@ -279,7 +303,7 @@ def fig13(scale=0.5, max_pace=100, level=0.1, config=None, tuning_rounds=4):
     (exactly the paper's tuning protocol, section 5.3).
     """
     config = config or default_config(max_pace)
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     queries = build_workload(catalog)
     runner = ExperimentRunner(catalog, queries, config)
     base = uniform_constraints(range(len(queries)), level)
@@ -292,6 +316,7 @@ def fig13(scale=0.5, max_pace=100, level=0.1, config=None, tuning_rounds=4):
         results[name] = _tune_constraints(runner, name, base, goals, tuning_rounds)
 
     result = ExperimentResult("Figure 13 / Table 2: manually tuned paces")
+    result.data["catalog_seed"] = catalog_seed
     rows = [[name, results[name].total_seconds] for name in APPROACHES]
     result.add_section(format_table(("Approach", "Total s"), rows, "CPU seconds"))
     rows = [missed_latency_row(name, results[name].missed) for name in APPROACHES]
@@ -377,7 +402,7 @@ def _tune_constraints(runner, name, relative, goals, rounds):
 # -- Figure 14 / Table 3: decomposition ablation ----------------------------------
 
 def fig14(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
-          seed=0, brute_force_limit=8, jobs=1):
+          seed=0, brute_force_limit=8, jobs=1, catalog_seed=5):
     """The section 5.4 decomposition experiment.
 
     Workload: the 10 sharing-friendly queries plus predicate-mutated
@@ -385,11 +410,12 @@ def fig14(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
     without decomposition and iShare with the brute-force splitter.
     """
     config = config or default_config(max_pace)
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     queries = build_variant_workload(catalog, SHARING_FRIENDLY, build_query, seed)
     runner = ExperimentRunner(catalog, queries, config)
     names = list(APPROACHES) + ["iShare (w/o unshare)", "iShare (Brute-Force)"]
     result = ExperimentResult("Figure 14 / Table 3: decomposition ablation")
+    result.data["catalog_seed"] = catalog_seed
     headers = ["Constraints"] + names
     rows = []
     missed_all = {name: None for name in names}
@@ -420,15 +446,16 @@ def fig14(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
 # -- Figure 15: optimization overhead / memoization --------------------------------
 
 def fig15(scale=0.35, max_paces=(10, 25, 50, 100), level=0.01, config=None,
-          dnf_seconds=60.0):
+          dnf_seconds=60.0, catalog_seed=5):
     """Optimization time vs max pace, with and without memoization.
 
     ``dnf_seconds`` scales the paper's 30-minute cutoff down to the micro
     benchmark; runs exceeding it are reported as DNF.
     """
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     queries = build_workload(catalog)
     result = ExperimentResult("Figure 15: optimization overhead (memoization)")
+    result.data["catalog_seed"] = catalog_seed
     rows = []
     for max_pace in max_paces:
         row = ["max pace %d" % max_pace]
@@ -462,7 +489,8 @@ def fig15(scale=0.35, max_paces=(10, 25, 50, 100), level=0.01, config=None,
 
 # -- Figure 16: clustering vs brute-force splitting ---------------------------------
 
-def fig16(scale=0.35, max_pace=100, query_counts=(2, 3, 4, 5, 6, 7), config=None):
+def fig16(scale=0.35, max_pace=100, query_counts=(2, 3, 4, 5, 6, 7),
+          config=None, catalog_seed=5):
     """Split-search time: greedy clustering vs brute-force enumeration.
 
     Builds N predicate-variants of one sharing-friendly query so they all
@@ -470,8 +498,9 @@ def fig16(scale=0.35, max_pace=100, query_counts=(2, 3, 4, 5, 6, 7), config=None
     optimization problem.
     """
     config = config or default_config(max_pace)
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     result = ExperimentResult("Figure 16: clustering vs brute-force split search")
+    result.data["catalog_seed"] = catalog_seed
     rows = []
     for count in query_counts:
         base = build_query(catalog, "Q5", 0)
@@ -519,15 +548,17 @@ PAIRS = {
 }
 
 
-def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1):
+def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None,
+          jobs=1, catalog_seed=5):
     """Query pairs with varied incrementability (Figure 17 a/b/c).
 
     The first query of each pair keeps relative constraint 1.0 (Q5, Q15,
     QA per the paper); the second query's constraint sweeps the levels.
     """
     config = config or default_config(max_pace)
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     result = ExperimentResult("Figure 17: incrementability micro-benchmarks")
+    result.data["catalog_seed"] = catalog_seed
     result.data["pairs"] = {}
     all_outcomes = []
     wall_seconds = 0.0
@@ -568,7 +599,7 @@ def fig17(scale=0.5, max_pace=100, levels=CONSTRAINT_LEVELS, config=None, jobs=1
 # -- the section 5.2 "simple approach" baseline -----------------------------------
 
 def two_phase_baseline(scale=0.4, max_pace=100, level=0.1, config=None,
-                       first_points=(0.25, 0.5, 0.75, 0.9)):
+                       first_points=(0.25, 0.5, 0.75, 0.9), catalog_seed=5):
     """The paper's simple two-execution baseline vs iShare.
 
     Section 5.2 also compares "a simple approach that starts one execution
@@ -580,7 +611,7 @@ def two_phase_baseline(scale=0.4, max_pace=100, level=0.1, config=None,
     from fractions import Fraction
 
     config = config or default_config(max_pace)
-    catalog = generate_catalog(scale=scale)
+    catalog = generate_catalog(scale=scale, seed=catalog_seed)
     queries = build_workload(catalog)
     runner = ExperimentRunner(catalog, queries, config)
     relative = uniform_constraints(range(len(queries)), level)
@@ -589,6 +620,7 @@ def two_phase_baseline(scale=0.4, max_pace=100, level=0.1, config=None,
     result = ExperimentResult(
         "Two-phase baseline (one pre-trigger execution) vs iShare"
     )
+    result.data["catalog_seed"] = catalog_seed
     rows = []
     best = None
     unshared = build_unshared_plan(catalog, queries)

@@ -1,0 +1,1087 @@
+"""Columnar (struct-of-arrays) physical operators with vectorized kernels.
+
+The third engine mode (``HOTPATH.columnar``): delta batches flow between
+operators as :class:`~repro.engine.columns.ColumnBatch` structs and the
+per-delta interpreter work of the batched path becomes NumPy array ops --
+mask-based mark filters, dict-of-row-ranges hash-join probes expanded
+with ``np.repeat``/``np.tile``, and grouped SUM/COUNT/AVG via stable
+sort + ``np.add.reduceat`` segment reduction with retraction as signed
+multiplicities.
+
+Two invariants tie this backend to the batched path:
+
+* **exact WorkMeter parity** -- every charge is computed from array
+  lengths that equal the batched path's list lengths, and the aggregate
+  only uses segment reduction when the arithmetic is provably exact
+  (ints, integral floats), falling back to the reference's sequential
+  per-delta arithmetic otherwise so emission *counts* (and therefore
+  output/work accounting) never diverge;
+* **order preservation** -- join output order is delta-major with
+  matches in state insertion order, and per-(group, query) aggregate
+  update order is the original delta order (stable sorts throughout),
+  because MIN/MAX rescan charges depend on it.
+
+Results are tolerance-equivalent to the batched path (float segment
+sums may associate differently only on the exact paths where it cannot
+matter); ``tests/test_columnar_equivalence.py`` and the
+``shared-columnar`` fuzz oracle enforce both invariants.
+"""
+
+from ..engine.columns import (
+    ColumnBatch,
+    as_columns,
+    column_array,
+    concat_batches,
+    np,
+)
+from ..relational.expressions import (
+    And,
+    BinaryOp,
+    Col,
+    Comparison,
+    Const,
+    Contains,
+    InList,
+    Not,
+    Or,
+    StartsWith,
+)
+from .hotpath import cached_artifacts, qids_of
+from .operators import AggregateExec, _GroupQueryState
+
+
+# -- vectorized expression compilation ---------------------------------------
+
+
+class _NotVectorizable(Exception):
+    """Internal: fall back to the row-wise closure for this expression."""
+
+
+_ARITH_SAFE = {"+", "-", "*"}
+
+
+def _vec(expr, schema):
+    """Build ``fn(batch) -> ndarray-or-scalar`` for a vectorizable tree."""
+    if isinstance(expr, Col):
+        index = schema.index_of(expr.name)
+        # per-column access: a row-backed batch materializes (and
+        # caches) only the columns an expression actually reads
+        return lambda batch: batch.column(index)
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda batch: value
+    if isinstance(expr, BinaryOp):
+        left = _vec(expr.left, schema)
+        right = _vec(expr.right, schema)
+        op = expr.op
+        if op in _ARITH_SAFE:
+            if op == "+":
+                return lambda batch: left(batch) + right(batch)
+            if op == "-":
+                return lambda batch: left(batch) - right(batch)
+            return lambda batch: left(batch) * right(batch)
+        # division vectorizes only by a nonzero constant: NumPy yields
+        # inf/nan where the scalar path raises ZeroDivisionError, and the
+        # error class is part of the differential-oracle contract
+        if not (isinstance(expr.right, Const) and expr.right.value != 0):
+            raise _NotVectorizable
+        if op == "/":
+            return lambda batch: left(batch) / right(batch)
+        return lambda batch: left(batch) // right(batch)
+    if isinstance(expr, Comparison):
+        left = _vec(expr.left, schema)
+        right = _vec(expr.right, schema)
+        op = expr.op
+        if op == "==":
+            return lambda batch: left(batch) == right(batch)
+        if op == "!=":
+            return lambda batch: left(batch) != right(batch)
+        if op == "<":
+            return lambda batch: left(batch) < right(batch)
+        if op == "<=":
+            return lambda batch: left(batch) <= right(batch)
+        if op == ">":
+            return lambda batch: left(batch) > right(batch)
+        return lambda batch: left(batch) >= right(batch)
+    if isinstance(expr, And):
+        left = _vec(expr.left, schema)
+        right = _vec(expr.right, schema)
+        return lambda batch: np.logical_and(
+            _truthy(left(batch), len(batch)), _truthy(right(batch), len(batch))
+        )
+    if isinstance(expr, Or):
+        left = _vec(expr.left, schema)
+        right = _vec(expr.right, schema)
+        return lambda batch: np.logical_or(
+            _truthy(left(batch), len(batch)), _truthy(right(batch), len(batch))
+        )
+    if isinstance(expr, Not):
+        child = _vec(expr.child, schema)
+        return lambda batch: np.logical_not(_truthy(child(batch), len(batch)))
+    if isinstance(expr, InList):
+        child = _vec(expr.child, schema)
+        values = frozenset(expr.values)
+
+        def isin(batch):
+            # frozenset membership per element keeps hash-equality
+            # semantics identical to the scalar closure
+            x = child(batch)
+            if isinstance(x, np.ndarray):
+                return np.fromiter(
+                    (v in values for v in x.tolist()), np.bool_, len(x)
+                )
+            return x in values
+
+        return isin
+    if isinstance(expr, StartsWith):
+        child = _vec(expr.child, schema)
+        prefix = expr.prefix
+
+        def starts(batch):
+            x = child(batch)
+            if isinstance(x, np.ndarray):
+                return np.fromiter(
+                    (v.startswith(prefix) for v in x.tolist()),
+                    np.bool_, len(x),
+                )
+            return x.startswith(prefix)
+
+        return starts
+    if isinstance(expr, Contains):
+        child = _vec(expr.child, schema)
+        needle = expr.needle
+
+        def contains(batch):
+            x = child(batch)
+            if isinstance(x, np.ndarray):
+                return np.fromiter(
+                    (needle in v for v in x.tolist()), np.bool_, len(x)
+                )
+            return needle in x
+
+        return contains
+    raise _NotVectorizable
+
+
+def compile_columnar(expr, schema):
+    """``fn(batch) -> column`` for ``expr``; row-wise fallback when the
+    tree has a shape the vectorizer does not cover (exact by
+    construction: it runs the same scalar closure the other paths use).
+    """
+    try:
+        return _vec(expr, schema)
+    except _NotVectorizable:
+        scalar = expr.compile(schema)
+
+        def rowwise(batch):
+            return column_array([scalar(row) for row in batch.rows()])
+
+        return rowwise
+
+
+def _truthy(x, n):
+    """Coerce a predicate result to a bool mask (or scalar bool)."""
+    if isinstance(x, np.ndarray):
+        if x.dtype == np.bool_:
+            return x
+        if x.dtype == object:
+            return np.fromiter((bool(v) for v in x), np.bool_, len(x))
+        return x.astype(np.bool_)
+    return bool(x)
+
+
+def _bool_mask(x, n):
+    """A full-length bool mask from a predicate result."""
+    x = _truthy(x, n)
+    if isinstance(x, np.ndarray):
+        return x
+    return np.full(n, x, dtype=np.bool_)
+
+
+def _materialize(x, n):
+    """A full-length column from a projection result (broadcast scalars)."""
+    if isinstance(x, np.ndarray):
+        if x.ndim != 0:
+            return x
+        x = x.item()
+    if isinstance(x, (bool, np.bool_)):
+        return np.full(n, bool(x), dtype=np.bool_)
+    if isinstance(x, (int, np.integer)):
+        return np.full(n, int(x), dtype=np.int64)
+    if isinstance(x, (float, np.floating)):
+        return np.full(n, float(x), dtype=np.float64)
+    arr = np.empty(n, dtype=object)
+    arr.fill(x)
+    return arr
+
+
+def _count_bits(bits, acc):
+    """Per-query counters from a bits array (stats mode)."""
+    if not len(bits):
+        return
+    values, counts = np.unique(bits, return_counts=True)
+    for value, count in zip(values.tolist(), counts.tolist()):
+        for qid in qids_of(value):
+            acc[qid] = acc.get(qid, 0) + count
+
+
+# -- columnar decorations ----------------------------------------------------
+
+
+class _ColumnarDecorationArtifacts:
+    """Vector-compiled mark filters and union projection (shareable)."""
+
+    __slots__ = ("filter_pairs", "projection_fns")
+
+    def __init__(self, node):
+        core_schema = node.core_schema
+        self.filter_pairs = tuple(
+            (1 << qid, ~(1 << qid), compile_columnar(predicate, core_schema))
+            for qid, predicate in sorted(node.filters.items())
+        )
+        union = node.union_projection()
+        if union is None:
+            self.projection_fns = None
+        else:
+            self.projection_fns = tuple(
+                compile_columnar(expr, core_schema) for _, expr in union
+            )
+
+
+class ColumnarDecorations:
+    """Columnar twin of :class:`~repro.physical.operators.Decorations`.
+
+    Charges the same amounts under the same operator names: the filter
+    charge is the pre-filter batch length, the projection charge the
+    post-filter length, exactly like the batched path.
+    """
+
+    __slots__ = ("filter_name", "project_name", "filter_pairs",
+                 "projection_fns", "stats_mode", "filter_in_per_q",
+                 "filter_out_per_q")
+
+    def __init__(self, node, stats_mode=False):
+        artifacts = cached_artifacts(
+            ("cdeco", node.uid), lambda: _ColumnarDecorationArtifacts(node)
+        )
+        self.filter_name = "filter:%d" % node.uid
+        self.project_name = "proj:%d" % node.uid
+        self.filter_pairs = artifacts.filter_pairs
+        self.projection_fns = artifacts.projection_fns
+        self.stats_mode = stats_mode
+        self.filter_in_per_q = {}
+        self.filter_out_per_q = {}
+
+    def reset_stats(self):
+        self.filter_in_per_q.clear()
+        self.filter_out_per_q.clear()
+
+    def apply(self, batch, meter):
+        pairs = self.filter_pairs
+        if pairs:
+            n = len(batch)
+            meter.charge_input(self.filter_name, n)
+            if self.stats_mode:
+                _count_bits(batch.bits, self.filter_in_per_q)
+            bits = batch.bits
+            for bit, clear, fn in pairs:
+                has = (bits & bit) != 0
+                if not has.any():
+                    continue
+                pred = _bool_mask(fn(batch), n)
+                # clear the query's bit where its predicate rejects the
+                # row; rows without the bit are unaffected by design
+                drop = has & ~pred
+                if drop.any():
+                    bits = np.where(drop, bits & clear, bits)
+            keep = bits != 0
+            if keep.all():
+                batch = batch.with_bits(bits)
+            else:
+                batch = batch.with_bits(bits).take(np.flatnonzero(keep))
+            if self.stats_mode:
+                _count_bits(batch.bits, self.filter_out_per_q)
+        fns = self.projection_fns
+        if fns is not None:
+            n = len(batch)
+            meter.charge_input(self.project_name, n)
+            columns = tuple(_materialize(fn(batch), n) for fn in fns)
+            batch = ColumnBatch(columns, batch.signs, batch.bits)
+        return batch
+
+
+# -- source ------------------------------------------------------------------
+
+
+def _consolidated_batch(deltas, batches, width):
+    """Fused ``consolidate`` + ``from_deltas``: one pass from raw deltas
+    (and/or columnar buffer segments) to a row-backed batch, no
+    intermediate Delta allocations.
+
+    Emits exactly :func:`repro.relational.tuples.consolidate`'s
+    sequence -- first-seen ``(row, bits)`` order, net multiplicity
+    expanded back into unit entries -- so the batch is indistinguishable
+    from ``from_deltas(consolidate(deltas), width)`` over the
+    concatenated input.
+    """
+    net = {}
+    order = []
+    order_append = order.append
+    for delta in deltas:
+        key = (delta.row, delta.bits)
+        if key in net:
+            net[key] += delta.sign
+        else:
+            net[key] = delta.sign
+            order_append(key)
+    for batch in batches:
+        for row, sign, bit in zip(
+            batch.rows(), batch.signs.tolist(), batch.bits.tolist()
+        ):
+            key = (row, bit)
+            if key in net:
+                net[key] += sign
+            else:
+                net[key] = sign
+                order_append(key)
+    rows = []
+    signs = []
+    bits = []
+    for key in order:
+        count = net[key]
+        if count == 0:
+            continue
+        if count > 0:
+            sign = 1
+        else:
+            sign = -1
+            count = -count
+        row, bit = key
+        if count == 1:
+            rows.append(row)
+            signs.append(sign)
+            bits.append(bit)
+        else:
+            rows.extend([row] * count)
+            signs.extend([sign] * count)
+            bits.extend([bit] * count)
+    return ColumnBatch.from_rows(
+        rows,
+        np.array(signs, dtype=np.int64),
+        np.array(bits, dtype=np.int64),
+        width,
+    )
+
+
+class ColumnarSourceExec:
+    """Columnar twin of :class:`~repro.physical.operators.SourceExec`."""
+
+    def __init__(self, node, reader, subplan_mask, meter, stats_mode=False,
+                 consolidate_reads=False):
+        self.node = node
+        self.reader = reader
+        self.subplan_mask = subplan_mask
+        self.meter = meter
+        self.name = "src:%d" % node.uid
+        self.decorations = ColumnarDecorations(node, stats_mode)
+        self.stats_mode = stats_mode
+        self.consolidate_reads = consolidate_reads
+        self.width = len(node.core_schema)
+        self.scanned_total = 0
+        self.kept_total = 0
+        self.kept_per_q = {}
+        self.deletes_kept = 0
+
+    def reset(self):
+        self.reader.offset = 0
+        self.scanned_total = 0
+        self.kept_total = 0
+        self.kept_per_q = {}
+        self.deletes_kept = 0
+        self.decorations.reset_stats()
+
+    def advance(self):
+        new_deltas, segments = self.reader.read_new_segments()
+        if self.consolidate_reads and (new_deltas or segments):
+            batch = _consolidated_batch(new_deltas, segments, self.width)
+        elif segments:
+            parts = []
+            if new_deltas:
+                parts.append(ColumnBatch.from_deltas(new_deltas, self.width))
+            parts.extend(segments)
+            batch = concat_batches(parts, self.width)
+        else:
+            batch = ColumnBatch.from_deltas(new_deltas, self.width)
+        self.meter.charge_input(self.name, len(batch))
+        self.scanned_total += len(batch)
+        bits = batch.bits & self.subplan_mask
+        keep = bits != 0
+        if keep.all():
+            kept = batch.with_bits(bits)
+        else:
+            kept = batch.with_bits(bits).take(np.flatnonzero(keep))
+        if self.stats_mode:
+            self.kept_total += len(kept)
+            self.deletes_kept += int((kept.signs < 0).sum())
+            _count_bits(kept.bits, self.kept_per_q)
+        return self.decorations.apply(kept, self.meter)
+
+
+# -- join --------------------------------------------------------------------
+
+
+class _ColumnarJoinSide:
+    """One side's hash state: append-only column chunks plus live indices.
+
+    Slot bookkeeping mirrors the batched ``key -> {(row, bits): net}``
+    tables exactly -- per-key slot lists keep insertion order (matching
+    dict insertion order in the batched path, including remove-then-
+    reinsert moving a slot to the tail), and materialized arrays are
+    maintained incrementally so each advance pays O(batch), not O(state).
+    """
+
+    __slots__ = ("width", "rows_raw", "bits_raw", "net", "slots",
+                 "arrays", "net_array", "materialized", "net_dirty",
+                 "live", "dead")
+
+    def __init__(self, width):
+        self.width = width
+        self.reset()
+
+    def reset(self):
+        self.rows_raw = []  # one tuple per slot; columnized lazily
+        self.bits_raw = []
+        self.net = []
+        # key -> {(row, bits): slot index}; dict order IS the probe
+        # order (insertion order, removals free their position, a
+        # reinsertion lands at the tail -- exactly the batched tables)
+        self.slots = {}
+        self.arrays = None
+        self.net_array = None
+        self.materialized = 0
+        self.net_dirty = []
+        self.live = 0
+        self.dead = 0
+
+    def _columnize(self, rows):
+        if self.width:
+            return tuple(column_array(col) for col in zip(*rows))
+        return ()
+
+    def materialize(self):
+        """Current (columns, bits, net) arrays, extended incrementally."""
+        total = len(self.net)
+        if self.arrays is None:
+            columns = self._columnize(self.rows_raw)
+            bits = np.fromiter(self.bits_raw, np.int64, total)
+            self.net_array = np.fromiter(self.net, np.int64, total)
+            self.arrays = (columns, bits)
+            self.materialized = total
+            self.net_dirty = []
+            return self.arrays[0], self.arrays[1], self.net_array
+        start = self.materialized
+        if total > start:
+            old_columns, old_bits = self.arrays
+            tails = self._columnize(self.rows_raw[start:])
+            new_columns = []
+            for position, (old, tail) in enumerate(zip(old_columns, tails)):
+                if tail.dtype == old.dtype:
+                    new_columns.append(np.concatenate([old, tail]))
+                else:
+                    # a column changed type across batches: rebuild with
+                    # the strict detector so ints stay ints
+                    new_columns.append(
+                        column_array([row[position] for row in self.rows_raw])
+                    )
+            bits_tail = np.fromiter(self.bits_raw[start:], np.int64,
+                                    total - start)
+            new_bits = np.concatenate([old_bits, bits_tail])
+            net_tail = np.fromiter(self.net[start:], np.int64, total - start)
+            self.net_array = np.concatenate([self.net_array, net_tail])
+            self.arrays = (tuple(new_columns), new_bits)
+            self.materialized = total
+        if self.net_dirty:
+            net_array = self.net_array
+            net = self.net
+            for idx in self.net_dirty:
+                net_array[idx] = net[idx]
+            self.net_dirty = []
+        return self.arrays[0], self.arrays[1], self.net_array
+
+
+# Batches below this row count probe with the scalar loop: per-delta
+# python emission beats the arange/repeat expansion until the probe
+# fan-out is large.  Exported so tests can force either path.
+SCALAR_PROBE_MAX = 2048
+
+
+class ColumnarJoinExec:
+    """Columnar twin of :class:`~repro.physical.operators.JoinExec`.
+
+    Installs stay scalar (they are per-slot dict bookkeeping either
+    way); the probe is vectorized per distinct key and reassembled into
+    the batched path's exact output order: delta-major, matches in state
+    insertion order, |net| copies each via ``np.repeat``.
+    """
+
+    def __init__(self, node, left, right, meter, stats_mode=False,
+                 state_factor=0.0):
+        self.node = node
+        self.left = left
+        self.right = right
+        self.meter = meter
+        self.state_factor = state_factor
+        self.entry_count = 0
+        self.name = "join:%d" % node.uid
+        left_schema = node.children[0].out_schema
+        right_schema = node.children[1].out_schema
+        self.left_width = len(left_schema)
+        self.right_width = len(right_schema)
+        self.out_width = self.left_width + self.right_width
+        self._left_key_idx = tuple(
+            left_schema.index_of(name) for name in node.left_keys
+        )
+        self._right_key_idx = tuple(
+            right_schema.index_of(name) for name in node.right_keys
+        )
+        self._left_state = _ColumnarJoinSide(self.left_width)
+        self._right_state = _ColumnarJoinSide(self.right_width)
+        self.decorations = ColumnarDecorations(node, stats_mode)
+        self.stats_mode = stats_mode
+        self.in_left = 0
+        self.in_right = 0
+        self.out_total = 0
+        self.in_left_per_q = {}
+        self.in_right_per_q = {}
+        self.out_per_q = {}
+
+    def reset(self):
+        self.left.reset()
+        self.right.reset()
+        self._left_state.reset()
+        self._right_state.reset()
+        self.entry_count = 0
+        self.in_left = 0
+        self.in_right = 0
+        self.out_total = 0
+        self.in_left_per_q = {}
+        self.in_right_per_q = {}
+        self.out_per_q = {}
+        self.decorations.reset_stats()
+
+    def advance(self):
+        left_batch = as_columns(self.left.advance(), self.left_width)
+        right_batch = as_columns(self.right.advance(), self.right_width)
+        self.meter.charge_input(
+            self.name, len(left_batch) + len(right_batch)
+        )
+        outputs = []
+        if len(left_batch):
+            keys = self._keys(left_batch, self._left_key_idx)
+            # probe new left deltas against the old right state, then
+            # install them -- installs only touch the left table, so
+            # batch-level probe/install matches the fused per-delta order
+            self._probe(left_batch, keys, self._right_state, True, outputs)
+            self.entry_count += self._install(
+                self._left_state, left_batch, keys
+            )
+        if len(right_batch):
+            keys = self._keys(right_batch, self._right_key_idx)
+            # probe new right deltas against the *new* left state
+            self._probe(right_batch, keys, self._left_state, False, outputs)
+            self.entry_count += self._install(
+                self._right_state, right_batch, keys
+            )
+        out = concat_batches(outputs, self.out_width)
+        self.meter.charge_output(self.name, len(out))
+        if self.state_factor:
+            self.meter.charge_state(
+                self.name, self.state_factor * self.entry_count
+            )
+        if self.stats_mode:
+            self.in_left += len(left_batch)
+            self.in_right += len(right_batch)
+            self.out_total += len(out)
+            _count_bits(left_batch.bits, self.in_left_per_q)
+            _count_bits(right_batch.bits, self.in_right_per_q)
+            _count_bits(out.bits, self.out_per_q)
+        return self.decorations.apply(out, self.meter)
+
+    @staticmethod
+    def _keys(batch, key_idx):
+        """Python-typed join keys per row (hash-compatible across sides)."""
+        if len(key_idx) == 1:
+            return batch.column_values(key_idx[0])
+        key_cols = [batch.column_values(i) for i in key_idx]
+        return list(zip(*key_cols))
+
+    def _probe(self, batch, keys, state, left_side, outputs):
+        if state.live == 0:
+            return
+        if len(keys) < SCALAR_PROBE_MAX:
+            # small batches: the arange/repeat machinery costs more than
+            # it saves, so walk the state slots directly (same order)
+            self._probe_scalar(batch, keys, state, left_side, outputs)
+            return
+        index = state.slots
+        # resolve each distinct key's match list once; ``flat`` holds the
+        # concatenated per-key state indices in insertion order, so the
+        # arange/repeat expansion below yields delta-major output with
+        # per-delta matches in state insertion order -- exactly the
+        # batched path's emission order, with no sort
+        cache = {}
+        cache_get = cache.get
+        slots_get = index.get
+        flat = []
+        starts = []
+        lens = []
+        for key in keys:
+            entry = cache_get(key)
+            if entry is None:
+                per_key = slots_get(key)
+                if per_key is None:
+                    entry = (0, 0)
+                else:
+                    entry = (len(flat), len(per_key))
+                    flat.extend(per_key.values())
+                cache[key] = entry
+            starts.append(entry[0])
+            lens.append(entry[1])
+        if not flat:
+            return
+        state_columns, state_bits, state_net = state.materialize()
+        counts = np.asarray(lens, dtype=np.int64)
+        total = int(counts.sum())
+        delta_idx = np.repeat(np.arange(len(keys), dtype=np.int64), counts)
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        within = np.arange(total, dtype=np.int64) - offsets
+        state_idx = np.asarray(flat, dtype=np.int64)[
+            np.repeat(np.asarray(starts, dtype=np.int64), counts) + within
+        ]
+        bits_out = batch.bits[delta_idx] & state_bits[state_idx]
+        valid = bits_out != 0
+        if not valid.all():
+            delta_idx = delta_idx[valid]
+            state_idx = state_idx[valid]
+            bits_out = bits_out[valid]
+        if not len(bits_out):
+            return
+        net = state_net[state_idx]
+        signs_out = np.where(
+            net > 0, batch.signs[delta_idx], -batch.signs[delta_idx]
+        )
+        reps = np.abs(net)
+        if not (reps == 1).all():
+            delta_idx = np.repeat(delta_idx, reps)
+            state_idx = np.repeat(state_idx, reps)
+            bits_out = np.repeat(bits_out, reps)
+            signs_out = np.repeat(signs_out, reps)
+        own_columns = tuple(c[delta_idx] for c in batch.columns)
+        other_columns = tuple(c[state_idx] for c in state_columns)
+        if left_side:
+            columns = own_columns + other_columns
+        else:
+            columns = other_columns + own_columns
+        outputs.append(ColumnBatch(columns, signs_out, bits_out))
+
+    def _probe_scalar(self, batch, keys, state, left_side, outputs):
+        """Per-delta probe for small batches (no arrays touched).
+
+        Emits exactly the vectorized path's sequence: delta-major, per
+        delta the matches in state insertion order, ``|net|`` copies
+        each, zero-bit pairs dropped.
+        """
+        slots_get = state.slots.get
+        net = state.net
+        rows = batch.rows()
+        signs = batch.signs.tolist()
+        bits_list = batch.bits.tolist()
+        out_rows = []
+        out_signs = []
+        out_bits = []
+        rows_append = out_rows.append
+        signs_append = out_signs.append
+        bits_append = out_bits.append
+        for position, key in enumerate(keys):
+            per_key = slots_get(key)
+            if per_key is None:
+                continue
+            row = rows[position]
+            sign = signs[position]
+            dbits = bits_list[position]
+            # the slot key carries (row, bits) directly; only the net
+            # lives behind the index, so hits cost one list lookup each
+            for (other, sbits), idx in per_key.items():
+                joined_bits = dbits & sbits
+                if joined_bits == 0:
+                    continue
+                entry_net = net[idx]
+                if entry_net > 0:
+                    out_sign, reps = sign, entry_net
+                else:
+                    out_sign, reps = -sign, -entry_net
+                joined = row + other if left_side else other + row
+                if reps == 1:
+                    rows_append(joined)
+                    signs_append(out_sign)
+                    bits_append(joined_bits)
+                else:
+                    out_rows.extend([joined] * reps)
+                    out_signs.extend([out_sign] * reps)
+                    out_bits.extend([joined_bits] * reps)
+        if not out_rows:
+            return
+        # row-backed output: the (wide) joined columns materialize only
+        # if a downstream operator actually reads them
+        outputs.append(ColumnBatch.from_rows(
+            out_rows,
+            np.array(out_signs, dtype=np.int64),
+            np.array(out_bits, dtype=np.int64),
+            self.out_width,
+        ))
+
+    @staticmethod
+    def _install(state, batch, keys):
+        rows = batch.rows()
+        signs = batch.signs.tolist()
+        bits_list = batch.bits.tolist()
+        slots = state.slots
+        net = state.net
+        materialized = state.materialized
+        net_dirty = state.net_dirty
+        entries = 0
+        live = 0
+        slots_get = slots.get
+        net_append = net.append
+        rows_append = state.rows_raw.append
+        bits_append = state.bits_raw.append
+        for key, row, sign, bit in zip(keys, rows, signs, bits_list):
+            per_key = slots_get(key)
+            if per_key is None:
+                per_key = slots[key] = {}
+            slot = (row, bit)
+            idx = per_key.get(slot)
+            if idx is None:
+                per_key[slot] = len(net)
+                net_append(sign)
+                rows_append(row)
+                bits_append(bit)
+                entries += 1
+                live += 1
+            else:
+                # stored nets are never 0 (empty slots are removed), so
+                # a +-1 step either moves the net or empties the slot;
+                # reinsertion later lands at the key's tail like dict
+                # insertion order in the batched tables
+                updated = net[idx] + sign
+                net[idx] = updated
+                if idx < materialized:
+                    net_dirty.append(idx)
+                if updated == 0:
+                    del per_key[slot]
+                    if not per_key:
+                        del slots[key]
+                    entries -= 1
+                    live -= 1
+                    state.dead += 1
+        state.live += live
+        return entries
+
+    def state_size(self):
+        """Net stored entries (both sides); used by tests and diagnostics."""
+        total = 0
+        for state in (self._left_state, self._right_state):
+            for per_key in state.slots.values():
+                for idx in per_key.values():
+                    total += abs(state.net[idx])
+        return total
+
+
+# -- aggregate ---------------------------------------------------------------
+
+
+class _ColumnarAggArtifacts:
+    """Vector input closures and group-column indices (shareable)."""
+
+    __slots__ = ("input_fns", "group_indexes", "child_width")
+
+    def __init__(self, node):
+        child_schema = node.children[0].out_schema
+        self.child_width = len(child_schema)
+        self.input_fns = tuple(
+            compile_columnar(spec.expr, child_schema) for spec in node.aggs
+        )
+        if node.group_by:
+            self.group_indexes = tuple(
+                child_schema.index_of(name) for name in node.group_by
+            )
+        else:
+            self.group_indexes = None
+
+
+#: reduceat is used only when segment sums are provably exact: integral
+#: values bounded so every partial sum stays under 2**53 regardless of
+#: association order (values <= 2**31, at most 2**20 of them per batch)
+_EXACT_VALUE_BOUND = float(1 << 31)
+_EXACT_COUNT_BOUND = 1 << 20
+
+
+def _reduceat_exact(arr):
+    dtype = arr.dtype
+    if dtype == np.int64 or dtype == np.bool_:
+        return True
+    if dtype != np.float64:
+        return False
+    if arr.size == 0:
+        return True
+    if arr.size > _EXACT_COUNT_BOUND:
+        return False
+    peak = np.abs(arr).max()
+    if not peak <= _EXACT_VALUE_BOUND:  # NaN/inf fail this comparison
+        return False
+    return bool((arr == np.floor(arr)).all())
+
+
+class ColumnarAggregateExec(AggregateExec):
+    """Columnar twin of :class:`~repro.physical.operators.AggregateExec`.
+
+    Absorption is vectorized (per-query row selection by bit test,
+    stable sort by group code, segment reduction per aggregate);
+    emission reuses the batched ``_emit_batched`` verbatim, so emission
+    coalescing, ordering and state-count bookkeeping are shared code.
+    SUM/AVG use ``np.add.reduceat`` only while every input batch has
+    been exact-summable (ints / bounded integral floats); the first
+    batch that is not flips the spec to the reference's sequential
+    per-delta arithmetic forever, keeping state values -- and therefore
+    emission decisions and work charges -- bit-identical to the batched
+    path.  MIN/MAX always runs sequentially per segment because its
+    rescan work charges depend on per-delta order.
+    """
+
+    def __init__(self, node, child, subplan_mask, meter, stats_mode=False,
+                 state_factor=0.0):
+        AggregateExec.__init__(
+            self, node, child, subplan_mask, meter, stats_mode,
+            state_factor=state_factor,
+        )
+        artifacts = cached_artifacts(
+            ("cagg", node.uid), lambda: _ColumnarAggArtifacts(node)
+        )
+        self._vec_input_fns = artifacts.input_fns
+        self._group_indexes = artifacts.group_indexes
+        self._child_width = artifacts.child_width
+        self._exact_ok = [True] * len(self.specs)
+
+    def reset(self):
+        AggregateExec.reset(self)
+        self._exact_ok = [True] * len(self.specs)
+
+    def advance(self):
+        batch = as_columns(self.child.advance(), self._child_width)
+        n = len(batch)
+        self.meter.charge_input(self.name, n)
+        if self.stats_mode:
+            self.in_total += n
+            _count_bits(batch.bits, self.in_per_q)
+            self.in_deletes += int((batch.signs < 0).sum())
+        if n:
+            self._absorb_columns(batch)
+        out = self._emit_batched()
+        self.meter.charge_output(self.name, len(out))
+        if self.state_factor:
+            self.meter.charge_state(
+                self.name, self.state_factor * self.state_count
+            )
+        if self.stats_mode:
+            self.out_total += len(out)
+        return self.decorations.apply(out, self.meter)
+
+    def _absorb_columns(self, batch):
+        n = len(batch)
+        masked = batch.bits & self.subplan_mask
+        keep = masked != 0
+        if not keep.all():
+            # rows no query wants only "touch" their group in the
+            # batched path, which is observably a no-op (state carried
+            # across emissions always re-emits identically)
+            indices = np.flatnonzero(keep)
+            batch = batch.take(indices)
+            masked = masked[indices]
+            n = len(batch)
+            if n == 0:
+                return
+        codes, keys = self._group_codes(batch, n)
+        touched_add = self._touched.add
+        for key in keys:
+            touched_add(key)
+
+        input_arrays = []
+        plists = []
+        vec_ok = []
+        kinds = self._spec_kinds
+        for si, fn in enumerate(self._vec_input_fns):
+            arr = _materialize(fn(batch), n)
+            input_arrays.append(arr)
+            kind = kinds[si]
+            if kind == 3:
+                vec_ok.append(False)
+            elif self._exact_ok[si]:
+                exact = _reduceat_exact(arr)
+                if not exact:
+                    self._exact_ok[si] = False
+                vec_ok.append(exact)
+            else:
+                vec_ok.append(False)
+            plists.append(None)
+
+        groups = self.groups
+        specs = self.specs
+        meter = self.meter
+        name = self.name
+        state_count = self.state_count
+        signs = batch.signs
+        union = int(np.bitwise_or.reduce(masked))
+        for qid in qids_of(union):
+            bit = 1 << qid
+            selected = np.flatnonzero((masked & bit) != 0)
+            if not selected.size:
+                continue
+            group_codes = codes[selected]
+            order = np.argsort(group_codes, kind="stable")
+            take = selected[order]
+            sorted_codes = group_codes[order]
+            if sorted_codes.size == 1:
+                starts = np.zeros(1, dtype=np.int64)
+            else:
+                boundaries = np.flatnonzero(
+                    sorted_codes[1:] != sorted_codes[:-1]
+                ) + 1
+                starts = np.concatenate(
+                    (np.zeros(1, dtype=np.int64), boundaries)
+                )
+            sorted_signs = signs[take]
+            contribs = np.add.reduceat(sorted_signs, starts).tolist()
+            seg_codes = sorted_codes[starts].tolist()
+            take_list = None
+            signs_list = None
+
+            spec_data = []
+            for si, kind in enumerate(kinds):
+                if kind == 1:
+                    spec_data.append(None)  # count: contribs already has it
+                elif vec_ok[si]:
+                    values = input_arrays[si][take]
+                    if values.dtype == np.bool_:
+                        values = values.astype(np.int64)
+                    seg = np.add.reduceat(values * sorted_signs, starts)
+                    spec_data.append(seg.tolist())
+                else:
+                    plist = plists[si]
+                    if plist is None:
+                        plist = plists[si] = input_arrays[si].tolist()
+                    if take_list is None:
+                        take_list = take.tolist()
+                        signs_list = sorted_signs.tolist()
+                    spec_data.append(plist)
+
+            seg_count = len(seg_codes)
+            ends = starts[1:].tolist() + [len(take)]
+            starts_list = starts.tolist()
+            for s in range(seg_count):
+                key = keys[seg_codes[s]]
+                per_query = groups.get(key)
+                if per_query is None:
+                    per_query = groups[key] = {}
+                state = per_query.get(qid)
+                if state is None:
+                    state = per_query[qid] = _GroupQueryState(specs)
+                    state_count += 1
+                state.contributions += contribs[s]
+                states = state.states
+                for si, kind in enumerate(kinds):
+                    st = states[si]
+                    data = spec_data[si]
+                    if kind == 1:
+                        st.count += contribs[s]
+                    elif kind == 0:
+                        if vec_ok[si]:
+                            st.value += data[s]
+                        else:
+                            value = st.value
+                            for j in range(starts_list[s], ends[s]):
+                                v = data[take_list[j]]
+                                value += v if signs_list[j] == 1 else -v
+                            st.value = value
+                    elif kind == 2:
+                        if vec_ok[si]:
+                            count = st.count + contribs[s]
+                            st.count = count
+                            if count == 0:
+                                st.total = 0
+                                st.compensation = 0.0
+                            else:
+                                value = data[s]
+                                total = st.total
+                                if type(total) is int and type(value) is int:
+                                    st.total = total + value
+                                else:
+                                    new_total = total + value
+                                    if abs(total) >= abs(value):
+                                        st.compensation += (
+                                            (total - new_total) + value
+                                        )
+                                    else:
+                                        st.compensation += (
+                                            (value - new_total) + total
+                                        )
+                                    st.total = new_total
+                        else:
+                            for j in range(starts_list[s], ends[s]):
+                                st.update(
+                                    data[take_list[j]], signs_list[j],
+                                    meter, name,
+                                )
+                    else:
+                        # MIN/MAX: sequential in original delta order so
+                        # rescan charges match the batched path exactly
+                        for j in range(starts_list[s], ends[s]):
+                            st.update(
+                                data[take_list[j]], signs_list[j],
+                                meter, name,
+                            )
+        self.state_count = state_count
+
+    def _group_codes(self, batch, n):
+        """(codes array, distinct key tuples) with first-seen stability."""
+        indexes = self._group_indexes
+        if indexes is None:
+            return np.zeros(n, dtype=np.int64), [()]
+        if len(indexes) == 1:
+            column = batch.column(indexes[0])
+            if column.dtype != object:
+                uniques, inverse = np.unique(column, return_inverse=True)
+                keys = [(value,) for value in uniques.tolist()]
+                return inverse.astype(np.int64, copy=False), keys
+            values = column.tolist()
+            keys = []
+            mapping = {}
+            codes = np.empty(n, dtype=np.int64)
+            for i, value in enumerate(values):
+                code = mapping.get(value)
+                if code is None:
+                    code = mapping[value] = len(keys)
+                    keys.append((value,))
+                codes[i] = code
+            return codes, keys
+        value_lists = [batch.column_values(i) for i in indexes]
+        rows = list(zip(*value_lists))
+        keys = []
+        mapping = {}
+        codes = np.empty(n, dtype=np.int64)
+        for i, row in enumerate(rows):
+            code = mapping.get(row)
+            if code is None:
+                code = mapping[row] = len(keys)
+                keys.append(row)
+            codes[i] = code
+        return codes, keys

@@ -13,10 +13,18 @@ work/latency numbers and identical output delta streams -- the reference
 path exists as the correctness oracle (``tests/test_hotpath_equivalence``)
 and as the baseline of ``benchmarks/bench_engine_hotpath.py``.
 
-Independently toggleable (all default on):
+Independently toggleable (``batched``/``compile_cache``/``reuse_trees``
+default on, ``columnar`` defaults off):
 
 ``batched``
     batched delta application in the physical operators.
+``columnar``
+    struct-of-arrays delta batches with NumPy-vectorized operator
+    kernels (:mod:`repro.physical.columnar`); results are
+    tolerance-equivalent to the batched path and WorkMeter charges are
+    exactly identical (docs/PERFORMANCE.md).  The request is honoured
+    only when :func:`columnar_available` says so (NumPy importable, kill
+    switch not set) and the plan's query ids fit an int64 bitvector.
 ``compile_cache``
     process-wide reuse of compiled per-node artifacts (predicate and
     projection closures, join key getters, aggregate input closures)
@@ -28,26 +36,55 @@ Independently toggleable (all default on):
     reset between runs instead of rebuilt).
 
 Environment overrides (read once at import): ``REPRO_ENGINE_UNBATCHED``,
-``REPRO_ENGINE_NO_COMPILE_CACHE``, ``REPRO_ENGINE_NO_PLAN_REUSE``.
+``REPRO_ENGINE_NO_COMPILE_CACHE``, ``REPRO_ENGINE_NO_PLAN_REUSE``, and
+``REPRO_ENGINE_COLUMNAR`` (``1`` turns the columnar backend on by
+default, ``0`` is a kill switch that pins it off even when
+``engine_mode(columnar=True)`` asks for it).
 """
 
 import os
 from contextlib import contextmanager
 
+_COLUMNAR_ENV = os.environ.get("REPRO_ENGINE_COLUMNAR", "").strip().lower()
+
+#: kill switch: ``REPRO_ENGINE_COLUMNAR=0`` (or ``off``) disables the
+#: columnar backend regardless of :data:`HOTPATH`; tests monkeypatch it
+COLUMNAR_KILLED = _COLUMNAR_ENV in ("0", "off", "no", "false")
+
+_NUMPY_OK = None
+
+
+def columnar_available():
+    """Whether the columnar backend can run at all in this process."""
+    global _NUMPY_OK
+    if _NUMPY_OK is None:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            _NUMPY_OK = False
+        else:
+            _NUMPY_OK = True
+    return _NUMPY_OK and not COLUMNAR_KILLED
+
 
 class EngineMode:
     """Mutable toggles for the engine's hot-path optimisations."""
 
-    __slots__ = ("batched", "compile_cache", "reuse_trees")
+    __slots__ = ("batched", "compile_cache", "reuse_trees", "columnar")
 
-    def __init__(self, batched=True, compile_cache=True, reuse_trees=True):
+    def __init__(self, batched=True, compile_cache=True, reuse_trees=True,
+                 columnar=False):
         self.batched = bool(batched)
         self.compile_cache = bool(compile_cache)
         self.reuse_trees = bool(reuse_trees)
+        self.columnar = bool(columnar)
 
     def __repr__(self):
-        return "EngineMode(batched=%s, compile_cache=%s, reuse_trees=%s)" % (
-            self.batched, self.compile_cache, self.reuse_trees,
+        return (
+            "EngineMode(batched=%s, compile_cache=%s, reuse_trees=%s, "
+            "columnar=%s)"
+            % (self.batched, self.compile_cache, self.reuse_trees,
+               self.columnar)
         )
 
 
@@ -56,23 +93,36 @@ HOTPATH = EngineMode(
     batched=not os.environ.get("REPRO_ENGINE_UNBATCHED"),
     compile_cache=not os.environ.get("REPRO_ENGINE_NO_COMPILE_CACHE"),
     reuse_trees=not os.environ.get("REPRO_ENGINE_NO_PLAN_REUSE"),
+    columnar=_COLUMNAR_ENV in ("1", "on", "yes", "true"),
 )
 
 
+def engine_mode_label():
+    """Short backend name for reports/metadata: which path would run."""
+    if HOTPATH.columnar and columnar_available():
+        return "columnar"
+    return "batched" if HOTPATH.batched else "reference"
+
+
 @contextmanager
-def engine_mode(batched=None, compile_cache=None, reuse_trees=None):
+def engine_mode(batched=None, compile_cache=None, reuse_trees=None,
+                columnar=None):
     """Temporarily override :data:`HOTPATH` toggles (tests, benchmarks)."""
-    saved = (HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees)
+    saved = (HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees,
+             HOTPATH.columnar)
     if batched is not None:
         HOTPATH.batched = bool(batched)
     if compile_cache is not None:
         HOTPATH.compile_cache = bool(compile_cache)
     if reuse_trees is not None:
         HOTPATH.reuse_trees = bool(reuse_trees)
+    if columnar is not None:
+        HOTPATH.columnar = bool(columnar)
     try:
         yield HOTPATH
     finally:
-        HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees = saved
+        (HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees,
+         HOTPATH.columnar) = saved
 
 
 # -- bits -> query-id decoding cache ----------------------------------------

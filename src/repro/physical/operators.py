@@ -856,13 +856,26 @@ class AggregateExec:
         fn1 = input_fns[1] if arity > 1 else None
         kind0 = kinds[0] if kinds else 3
         kind1 = kinds[1] if arity > 1 else 3
+        # group keys are interned per batch: the key tuple is built once
+        # per distinct group, and every later delta of the group probes
+        # groups/_touched with the identical object (identity fast path)
+        key_cache = {}
+        key_cache_get = key_cache.get
         for delta in deltas:
             row = delta.row
             sign = delta.sign
             if gidx is not None:
-                key = (row[gidx],)
+                value = row[gidx]
+                key = key_cache_get(value)
+                if key is None:
+                    key = key_cache[value] = (value,)
             elif group_key is not None:
                 key = group_key(row)
+                interned = key_cache_get(key)
+                if interned is None:
+                    key_cache[key] = key
+                else:
+                    key = interned
             else:
                 key = ()
             per_query = groups_get(key)
