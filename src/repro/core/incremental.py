@@ -1,0 +1,211 @@
+"""Incremental re-optimization of a live shared plan under query churn.
+
+The paper optimizes a fixed batch of scheduled queries once; a
+long-running service (:mod:`repro.service`) sees queries register and
+deregister at runtime.  Rebuilding and recalibrating the whole plan on
+every churn event wastes exactly the work sharing is supposed to save, so
+this module re-runs the MQO merge and then *carries over* everything the
+churn did not invalidate:
+
+1. :func:`match_subplans` pairs the freshly merged plan's subplans with
+   the previous plan's wherever the operator tree, decorations and query
+   set are identical (children matched first, so the pairing respects the
+   DAG).  Registering or deregistering one query only perturbs the
+   subplans serving that query; everything else matches.
+2. :func:`merge_with_carry` transfers calibrated node statistics onto
+   matched subplans, scopes fresh calibration to the *unmatched* ones
+   (the downward closure executes as a temporary plan, exactly the
+   plan-repair trick :mod:`repro.core.regenerate` uses for surgery), and
+   warm-starts the new cost model's memo, feedback and solo state via
+   :meth:`repro.cost.memo.PlanCostModel.carry_state_from`.
+3. :func:`carry_paces` + :func:`incremental_pace_search` seed the greedy
+   ascending search with the previous configuration (matched subplans
+   keep their pace, fresh ones start at batch pace) and let the
+   descending correction relax what churn made too eager -- a
+   subplan-scoped re-search instead of a from-scratch rebuild.
+"""
+
+from ..cost.cache import _node_signature, _remap_mask
+from ..cost.memo import PlanCostModel
+from ..engine.calibrate import calibrate_plan
+from ..mqo.merge import MQOOptimizer
+from ..mqo.nodes import SharedQueryPlan
+from ..obs import OBS
+from .greedy import PaceSearch, decrease_paces
+
+
+class MergeOutcome:
+    """A freshly merged plan plus everything carried over from its
+    predecessor."""
+
+    __slots__ = ("plan", "model", "matched", "fresh_sids", "memo_rows_carried")
+
+    def __init__(self, plan, model, matched, fresh_sids, memo_rows_carried):
+        self.plan = plan
+        self.model = model
+        #: {new sid: previous-plan sid} for structurally identical subplans
+        self.matched = matched
+        #: new sids with no predecessor (scoped calibration ran for these)
+        self.fresh_sids = fresh_sids
+        self.memo_rows_carried = memo_rows_carried
+
+    def __repr__(self):
+        return "MergeOutcome(%d subplans, %d matched, %d fresh)" % (
+            len(self.plan.subplans), len(self.matched), len(self.fresh_sids)
+        )
+
+
+def match_subplans(old_plan, new_plan, qid_map=None):
+    """``{new_sid: old_sid}`` for subplans identical across a re-merge.
+
+    Two subplans match when their operator trees -- structure,
+    decorations *and* query sets -- are identical and all their child
+    subplans matched (child-first traversal).  The node signature is the
+    calibration cache's (:func:`repro.cost.cache._node_signature`), with
+    the new plan's child refs rewritten through the matches found so far
+    so sid renumbering across merges cannot break the comparison.
+
+    ``qid_map`` translates *new*-plan query ids into old-plan ones; the
+    service renumbers external queries onto dense bitvector slots, so a
+    deregistration shifts every later query's slot even though the
+    queries themselves are unchanged.  New subplans whose ids all map are
+    compared in the old id space; a subplan serving an unmapped (newly
+    arrived) query matches nothing, which is exactly right -- its query
+    set did change.
+    """
+    old_identity = {subplan.sid: subplan.sid for subplan in old_plan.subplans}
+    old_index = {}
+    for subplan in old_plan.topological_order():
+        key = (subplan.query_mask, _node_signature(subplan.root, old_identity))
+        old_index.setdefault(key, []).append(subplan.sid)
+    matches = {}
+    for subplan in new_plan.topological_order():
+        child_map = {}
+        unmatched_child = False
+        for child in subplan.child_subplans():
+            mapped = matches.get(child.sid)
+            if mapped is None:
+                unmatched_child = True
+                break
+            child_map[child.sid] = mapped
+        if unmatched_child:
+            continue
+        key = (
+            _remap_mask(subplan.query_mask, qid_map),
+            _node_signature(subplan.root, child_map, qid_map),
+        )
+        bucket = old_index.get(key)
+        if bucket:
+            matches[subplan.sid] = bucket.pop(0)
+    return matches
+
+
+def _transfer_stats(new_root, old_root):
+    """Copy calibrated statistics between structurally identical trees."""
+    new_root.stats = old_root.stats
+    for new_child, old_child in zip(new_root.children, old_root.children):
+        _transfer_stats(new_child, old_child)
+
+
+def scoped_calibration_plan(plan, fresh_sids):
+    """A temporary plan over the downward closure of ``fresh_sids``.
+
+    The subset shares ``plan``'s actual :class:`Subplan` objects, so
+    calibrating it attaches statistics to the real nodes; query roots are
+    empty because only per-node statistics are wanted, and matched
+    descendants are included only as inputs of the fresh subplans.
+    Returns ``None`` when nothing is fresh.
+    """
+    if not fresh_sids:
+        return None
+    needed = set()
+
+    def need(subplan):
+        if subplan.sid not in needed:
+            needed.add(subplan.sid)
+            for child in subplan.child_subplans():
+                need(child)
+
+    for subplan in plan.subplans:
+        if subplan.sid in fresh_sids:
+            need(subplan)
+    subset = [s for s in plan.subplans if s.sid in needed]
+    return SharedQueryPlan(plan.catalog, subset, {}, {})
+
+
+def merge_with_carry(catalog, queries, config, old_plan=None, old_model=None,
+                     qid_map=None):
+    """Merge ``queries`` into a shared plan, carrying prior optimizer state.
+
+    ``qid_map`` translates the new batch's query ids to the old plan's
+    (see :func:`match_subplans`); omit it when ids are stable.  Returns a
+    :class:`MergeOutcome`; with no prior plan this degrades to a plain
+    build + full calibration (the bootstrap path).
+    """
+    plan = MQOOptimizer(catalog, config.min_shared_operators).build_shared_plan(
+        queries
+    )
+    matched = {} if old_plan is None else match_subplans(old_plan, plan, qid_map)
+    fresh = sorted(s.sid for s in plan.subplans if s.sid not in matched)
+    if matched:
+        old_by_sid = {s.sid: s for s in old_plan.subplans}
+        for new_sid, old_sid in matched.items():
+            _transfer_stats(
+                plan.subplan_by_id(new_sid).root, old_by_sid[old_sid].root
+            )
+    scope = scoped_calibration_plan(plan, set(fresh))
+    if scope is not None:
+        calibrate_plan(scope, config.stream_config)
+    model = PlanCostModel(
+        plan, config.cost_config, use_memo=config.use_memo,
+        time_budget=config.time_budget,
+    )
+    carried = (
+        model.carry_state_from(old_model, matched, qid_map)
+        if old_model else 0
+    )
+    if OBS.enabled:
+        OBS.declog.log(
+            "service_plan_update",
+            subplans=len(plan.subplans),
+            reused=sorted(matched),
+            recalibrated=list(fresh),
+            memo_rows_carried=carried,
+        )
+    return MergeOutcome(plan, model, matched, fresh, carried)
+
+
+def carry_paces(plan, matched, old_paces, max_pace):
+    """Initial pace configuration after churn: matched subplans keep their
+    previous pace, fresh ones start at batch pace 1.
+
+    The mix can violate the parent-order invariant (a carried-over eager
+    parent above a fresh batch-pace child), so parents are lowered to
+    their children's pace in child-first order before the search sees the
+    configuration.
+    """
+    old_paces = old_paces or {}
+    paces = {}
+    for subplan in plan.subplans:
+        old_sid = matched.get(subplan.sid)
+        pace = old_paces.get(old_sid, 1) if old_sid is not None else 1
+        paces[subplan.sid] = max(1, min(int(pace), max_pace))
+    for subplan in plan.topological_order():  # children fixed before parents
+        for child in subplan.child_subplans():
+            paces[subplan.sid] = min(paces[subplan.sid], paces[child.sid])
+    return paces
+
+
+def incremental_pace_search(model, constraints, initial, max_pace):
+    """Warm-started ascending search plus descending correction.
+
+    Starting from ``initial`` (see :func:`carry_paces`) the ascending
+    search only touches groups serving still-unmet queries -- the
+    subplan-scoped part -- and the descending pass then gives back
+    eagerness the departed or arrived queries no longer justify.
+    Returns ``(pace_config, evaluation, iterations)``.
+    """
+    search = PaceSearch(model, constraints, max_pace)
+    found = search.find(initial=initial)
+    paces, evaluation = decrease_paces(model, constraints, found.pace_config)
+    return paces, evaluation, found.iterations

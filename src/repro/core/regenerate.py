@@ -22,11 +22,45 @@ from ..obs import OBS
 from ..relational import bitvec
 
 
-def apply_split(plan, old_paces, target_sid, partitions):
+class SplitLineage:
+    """Correspondence from post-surgery subplan ids back to the originals.
+
+    ``origin`` maps every sid the surgery created to the sid of the
+    input-plan subplan whose operators it carries; untouched sids are
+    absent (look up with ``origin.get(sid, sid)``).  ``tainted`` collects
+    original sids whose measured work can no longer be attributed
+    one-to-one: a single-consumer merge folds a child's operators into
+    its parent's piece, so both originals are tainted.  Seeding
+    ``origin`` before :func:`apply_split` (partial cuts pre-map their
+    top/bottom pieces) makes the surgery compose through the seed.
+    """
+
+    __slots__ = ("origin", "tainted")
+
+    def __init__(self, origin=None, tainted=None):
+        self.origin = dict(origin or {})
+        self.tainted = set(tainted or ())
+
+    def resolve(self, sid):
+        return self.origin.get(sid, sid)
+
+    def compose(self, step):
+        """Lineage of ``self`` (original -> mid) followed by ``step``
+        (mid -> new), both read new-to-old."""
+        merged = SplitLineage(self.origin, self.tainted)
+        for new_sid, mid_sid in step.origin.items():
+            merged.origin[new_sid] = self.resolve(mid_sid)
+        merged.tainted |= {self.resolve(sid) for sid in step.tainted}
+        return merged
+
+
+def apply_split(plan, old_paces, target_sid, partitions, lineage=None):
     """Decompose subplan ``target_sid`` into ``partitions`` (qid tuples).
 
     Returns ``(new_plan, initial_paces)``.  The input ``plan`` is left
-    untouched; all surgery happens on a clone.
+    untouched; all surgery happens on a clone.  When a
+    :class:`SplitLineage` is passed, every piece the surgery creates and
+    every single-consumer merge it performs is recorded there.
     """
     target_check = plan.subplan_by_id(target_sid)
     covered = sorted(qid for part in partitions for qid in part)
@@ -40,12 +74,12 @@ def apply_split(plan, old_paces, target_sid, partitions):
 
     work = plan.clone()
     initial_paces = dict(old_paces)
-    state = _RewriteState(work, initial_paces)
+    state = _RewriteState(work, initial_paces, lineage)
     state.split(
         work.subplan_by_id(target_sid), [tuple(part) for part in partitions],
         reason="decomposition",
     )
-    _merge_single_consumer_chains(work, initial_paces)
+    _merge_single_consumer_chains(work, initial_paces, lineage)
     new_plan = SharedQueryPlan(work.catalog, work.subplans, work.query_roots, work.queries)
     return new_plan, initial_paces
 
@@ -53,9 +87,10 @@ def apply_split(plan, old_paces, target_sid, partitions):
 class _RewriteState:
     """Carries the mutable plan and pace bookkeeping through the recursion."""
 
-    def __init__(self, work, initial_paces):
+    def __init__(self, work, initial_paces, lineage=None):
         self.work = work
         self.initial_paces = initial_paces
+        self.lineage = lineage
 
     def split(self, subplan, partitions, reason="parent_subsumption"):
         """Split ``subplan`` along ``partitions``; returns aligned pieces."""
@@ -79,6 +114,8 @@ class _RewriteState:
                 label="%s/%s" % (subplan.label, "+".join("q%d" % q for q in part)),
             )
             self.initial_paces[piece.sid] = inherited_pace
+            if self.lineage is not None:
+                self.lineage.origin[piece.sid] = self.lineage.resolve(subplan.sid)
             pieces.append((keep, piece))
 
         work.subplans.remove(subplan)
@@ -113,7 +150,7 @@ def _retarget_refs(root, old_sid, new_subplan):
                 node.ref = SubplanRef(new_subplan)
 
 
-def _merge_single_consumer_chains(work, initial_paces):
+def _merge_single_consumer_chains(work, initial_paces, lineage=None):
     """Inline subplans whose buffer has exactly one consumer.
 
     Mergeable when: not a query root, exactly one parent, equal query
@@ -150,6 +187,9 @@ def _merge_single_consumer_chains(work, initial_paces):
             work.subplans.remove(child)
             child_pace = initial_paces.pop(child.sid)
             initial_paces[parent.sid] = max(initial_paces[parent.sid], child_pace)
+            if lineage is not None:
+                lineage.tainted.add(lineage.resolve(child.sid))
+                lineage.tainted.add(lineage.resolve(parent.sid))
             if OBS.enabled:
                 OBS.declog.log(
                     "repair_merge", child_sid=child.sid, parent_sid=parent.sid,

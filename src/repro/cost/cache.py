@@ -32,6 +32,7 @@ import tempfile
 
 from ..mqo.nodes import SubplanRef, TableRef
 from ..obs import OBS
+from ..relational import bitvec
 from .stats import NodeStats
 
 
@@ -96,7 +97,37 @@ def _walk_preorder(node):
             yield descendant
 
 
-def _node_signature(node, sid_position):
+def _remap_qid(qid, qid_map):
+    if qid_map is None:
+        return qid
+    mapped = qid_map.get(qid)
+    # a query id with no counterpart can never match -- tag, don't drop,
+    # so the signature stays structurally honest
+    return mapped if mapped is not None else ("dropped", qid)
+
+
+def _remap_mask(mask, qid_map):
+    """Translate a query bitmask through ``qid_map`` (see _node_signature)."""
+    if qid_map is None:
+        return mask
+    out = 0
+    for qid in bitvec.iter_bits(mask):
+        mapped = qid_map.get(qid)
+        if mapped is None:
+            return ("dropped", mask)
+        out |= bitvec.bit(mapped)
+    return out
+
+
+def _node_signature(node, sid_position, qid_map=None):
+    """Structural signature of one shared-plan node.
+
+    ``qid_map`` optionally translates this plan's query ids into another
+    id space before they enter the signature -- the incremental service
+    re-merge (:mod:`repro.core.incremental`) renumbers dense query slots
+    on churn and matches new-plan signatures against old-plan ones.  Ids
+    without a mapping yield a signature that matches nothing.
+    """
     if node.kind == "source":
         ref = node.ref
         if isinstance(ref, TableRef):
@@ -107,13 +138,15 @@ def _node_signature(node, sid_position):
             source = ("unknown", repr(ref))
     else:
         source = None
-    filters = tuple(sorted(
-        (qid, expr.signature()) for qid, expr in node.filters.items()
-    ))
-    projections = tuple(sorted(
-        (qid, tuple((alias, expr.signature()) for alias, expr in proj))
-        for qid, proj in node.projections.items()
-    ))
+    filters = tuple(
+        (_remap_qid(qid, qid_map), expr.signature())
+        for qid, expr in sorted(node.filters.items())
+    )
+    projections = tuple(
+        (_remap_qid(qid, qid_map),
+         tuple((alias, expr.signature()) for alias, expr in proj))
+        for qid, proj in sorted(node.projections.items())
+    )
     return (
         node.kind,
         source,
@@ -123,8 +156,11 @@ def _node_signature(node, sid_position):
         tuple(spec.signature() for spec in node.aggs) if node.aggs else None,
         filters,
         projections,
-        node.query_mask,
-        tuple(_node_signature(child, sid_position) for child in node.children),
+        _remap_mask(node.query_mask, qid_map),
+        tuple(
+            _node_signature(child, sid_position, qid_map)
+            for child in node.children
+        ),
     )
 
 

@@ -23,6 +23,19 @@ from ..obs import OBS
 from .model import DEFAULT_COST_CONFIG, UniformProfile, simulate_subplan
 from .stats import EdgeStat
 
+#: Feedback correction factors are clamped to this range.  A single
+#: degenerate measured run (a subplan that happened to do zero work
+#: against a positive estimate, or a transient spike) must not zero out
+#: or blow up every later estimate the memo serves; within the range the
+#: correction is applied exactly as measured.
+FEEDBACK_FACTOR_MIN = 0.01
+FEEDBACK_FACTOR_MAX = 100.0
+
+
+def clamp_feedback_factor(factor):
+    """Clamp one multiplicative correction into the documented range."""
+    return min(FEEDBACK_FACTOR_MAX, max(FEEDBACK_FACTOR_MIN, factor))
+
 
 class CostEvaluation:
     """Estimated cost of one pace configuration."""
@@ -193,6 +206,12 @@ class PlanCostModel:
         one measured :class:`~repro.engine.metrics.RunResult` under
         ``pace_config`` and applies it to every later :meth:`evaluate`.
         Call with ``run_result=None`` to clear the corrections.
+
+        A subplan *absent* from the measurement (``None``) keeps factor
+        1.0; a subplan that measurably did **zero** work against a
+        positive estimate is calibrated down (to the clamp floor).  All
+        factors are clamped to
+        ``[FEEDBACK_FACTOR_MIN, FEEDBACK_FACTOR_MAX]``.
         """
         if run_result is None:
             self._feedback = {}
@@ -207,16 +226,75 @@ class PlanCostModel:
             measured_total = run_result.subplan_total_work.get(sid)
             measured_final = run_result.subplan_final_work.get(sid)
             total_factor = (
-                measured_total / est_total
-                if measured_total and est_total > 0 else 1.0
+                clamp_feedback_factor(measured_total / est_total)
+                if measured_total is not None and est_total > 0 else 1.0
             )
             final_factor = (
-                measured_final / est_final
-                if measured_final and est_final > 0 else 1.0
+                clamp_feedback_factor(measured_final / est_final)
+                if measured_final is not None and est_final > 0 else 1.0
             )
             feedback[sid] = (total_factor, final_factor)
         self._feedback = feedback
         return feedback
+
+    def carry_state_from(self, old_model, sid_map, qid_map=None):
+        """Warm-start this model from another model across a plan change.
+
+        ``sid_map`` maps this plan's subplan ids to ``old_model``'s for
+        subplans that are structurally identical (same operators, same
+        query set, children matched) after a churn re-merge; ``qid_map``
+        likewise maps this plan's query ids to the old plan's when churn
+        renumbered the dense query slots.  Carried per
+        matched subplan whose *entire* descendant cone also matched --
+        memo keys are private pace configurations over the descendants,
+        so they only translate when the cone does:
+
+        * memo rows (Algorithm 1), pace keys re-indexed from the old
+          descendant sid order to the new one;
+        * feedback correction factors from measured executions;
+        * solo one-batch estimates for queries all of whose subplans
+          matched.
+
+        Returns the number of memo rows carried over.
+        """
+        carried = 0
+        for new_sid, old_sid in sid_map.items():
+            old_desc = old_model._descendants.get(old_sid)
+            new_desc = self._descendants.get(new_sid)
+            if old_desc is None or new_desc is None:
+                continue
+            translated = tuple(sid_map.get(d) for d in new_desc)
+            if None in translated or sorted(translated) != sorted(old_desc):
+                continue
+            # position i of a new memo key holds the pace of new_desc[i],
+            # which lives at old_desc.index(translated[i]) in an old key
+            positions = [old_desc.index(t) for t in translated]
+            new_memo = self._memo[new_sid]
+            for old_key, value in old_model._memo.get(old_sid, {}).items():
+                new_memo[tuple(old_key[p] for p in positions)] = value
+                carried += 1
+            correction = old_model._feedback.get(old_sid)
+            if correction is not None:
+                self._feedback[new_sid] = correction
+        for qid in self.plan.query_roots:
+            new_sids = [s.sid for s in self.plan.subplans_of_query(qid)]
+            if any(sid not in sid_map for sid in new_sids):
+                continue
+            old_qid = qid_map.get(qid) if qid_map is not None else qid
+            if old_qid is None:
+                continue
+            old_entry = old_model._solo_cache.get(old_qid)
+            if old_entry is None:
+                continue
+            total, per_subplan = old_entry
+            mapped = {
+                sid: per_subplan[sid_map[sid]]
+                for sid in new_sids
+                if sid_map[sid] in per_subplan
+            }
+            if len(mapped) == len(per_subplan) == len(new_sids):
+                self._solo_cache[qid] = (total, mapped)
+        return carried
 
     # -- solo (separate, one-batch) estimates ---------------------------------
 
@@ -276,3 +354,59 @@ class PlanCostModel:
             fraction = per_subplan.get(subplan.sid, 0.0) / total
             local[qid] = absolute_constraints[qid] * fraction
         return local
+
+
+class FeedbackSample:
+    """Just the measured per-subplan work :meth:`PlanCostModel.apply_feedback`
+    reads -- a :class:`~repro.engine.metrics.RunResult` stand-in for folded
+    measurements."""
+
+    __slots__ = ("subplan_total_work", "subplan_final_work")
+
+    def __init__(self, subplan_total_work, subplan_final_work):
+        self.subplan_total_work = subplan_total_work
+        self.subplan_final_work = subplan_final_work
+
+
+def fold_run_for_feedback(run_result, measured_paces, sid_origin,
+                          tainted_origins, base_paces):
+    """Fold a run measured on a decomposed plan back onto the pre-split sids.
+
+    Decomposition renames subplans (``apply_split`` allocates fresh sids
+    for every piece), so a measurement taken on the decomposed plan
+    cannot feed :meth:`PlanCostModel.apply_feedback` on the next window's
+    freshly merged plan directly.  ``sid_origin`` (from
+    :class:`~repro.core.decompose.DecompositionOutcome`) maps each
+    decomposed sid to the original subplan it carries operators of;
+    pieces of one original subplan have their measured work summed back
+    together.  Origins in ``tainted_origins`` (single-consumer merges
+    folded two originals' operators into one piece, so per-original
+    attribution is lost) are dropped -- they degrade to "no measurement"
+    and keep correction factor 1.0.
+
+    Returns ``(sample, paces)``: a :class:`FeedbackSample` over original
+    sids plus the pace configuration to evaluate it against --
+    ``base_paces`` (the pre-decomposition configuration) with each
+    surviving origin raised to the eagerest pace any of its pieces ran
+    at (a piece's measured work was produced under that piece's pace;
+    max is the conservative choice when pieces disagree).
+    """
+    tainted = set(tainted_origins)
+    totals = {}
+    finals = {}
+    for sid, work in run_result.subplan_total_work.items():
+        origin = sid_origin.get(sid, sid)
+        if origin not in tainted:
+            totals[origin] = totals.get(origin, 0.0) + work
+    for sid, work in run_result.subplan_final_work.items():
+        origin = sid_origin.get(sid, sid)
+        if origin not in tainted:
+            finals[origin] = finals.get(origin, 0.0) + work
+    paces = dict(base_paces)
+    folded = {}
+    for sid, pace in measured_paces.items():
+        origin = sid_origin.get(sid, sid)
+        if origin not in tainted and origin in paces:
+            folded[origin] = max(folded.get(origin, 0), pace)
+    paces.update(folded)
+    return FeedbackSample(totals, finals), paces

@@ -98,6 +98,28 @@ class PlanExecutor:
         self._runtime = None  # reusable compiled tree (HOTPATH.reuse_trees)
         self._runtime_columnar = None  # backend the cached tree was built for
 
+    def rebind(self, plan=None, catalog=None):
+        """Swap the plan and/or catalog this executor runs.
+
+        Long-running services re-optimize on churn and advance the data
+        window between trigger firings; rebinding keeps one executor
+        alive across both.  The cached runtime tree is invalidated only
+        when something actually changed, so consecutive triggers over an
+        unchanged plan+window still reuse it.  Returns whether a
+        recompile was scheduled.
+        """
+        changed = False
+        if plan is not None and plan is not self.plan:
+            self.plan = plan
+            changed = True
+        if catalog is not None and catalog is not self.catalog:
+            self.catalog = catalog
+            changed = True
+        if changed:
+            self._runtime = None
+            self.compiled = None
+        return changed
+
     # -- compilation ---------------------------------------------------------
 
     def _columnar_active(self):

@@ -74,3 +74,7 @@ class ExecutionError(ReproError):
 
 class CostModelError(ReproError):
     """The cost model was asked about an operator it has no statistics for."""
+
+
+class ServiceError(ReproError):
+    """A service request (registration, schedule, configuration) is invalid."""

@@ -6,8 +6,8 @@ optional explicit churn log of updates/deletes), a batch of queries
 (joins, filters, group-bys, aggregates including the non-incrementable
 MIN/MAX and two-level Q15-style shapes, plus plain projections), a pace
 ceiling + salt from which per-plan pace configurations are derived, a
-stream configuration, and optional decomposition / SQL-roundtrip
-choices.
+stream configuration, and optional decomposition / SQL-roundtrip /
+service-churn (register, then deregister ``dropouts`` mid-run) choices.
 
 Everything in a case is a JSON-native value (lists, not tuples), so a
 case survives ``json.dumps``/``loads`` bit-for-bit -- the property the
@@ -101,6 +101,24 @@ def generate_case(seed, index):
         "use_sql": rng.random() < 0.4,
         "decompose": (
             {"rank": rng.randrange(4), "salt": rng.randrange(2 ** 16)}
+            if rng.random() < 0.35
+            else None
+        ),
+        # register/deregister churn through the long-running service mode
+        # (drawn last so adding the key left every earlier field's random
+        # stream -- and thus the historical corpus -- untouched)
+        "service": (
+            {
+                "windows": rng.randint(2, 3),
+                "goal": rng.choice([5.0, 50.0]),
+                "dropouts": (
+                    sorted(rng.sample(
+                        range(n_queries), rng.randint(1, n_queries - 1)
+                    ))
+                    if n_queries >= 2 and rng.random() < 0.6
+                    else []
+                ),
+            }
             if rng.random() < 0.35
             else None
         ),

@@ -33,6 +33,13 @@ Every case runs through multiple pipelines that must agree:
 ``sql``
     optionally, the same queries rendered to SQL text, re-parsed through
     :mod:`repro.sqlparser`, and run unshared at pace 1.
+``service``
+    optionally, the whole batch registered into a long-running
+    :class:`~repro.service.core.QueryService`, some queries deregistered
+    after a trigger window (the case's ``dropouts``), and the *final*
+    window's run compared against the reference for the surviving
+    queries.  This fuzzes registration churn, incremental re-merge with
+    dense-slot renumbering and the carry of calibrated state.
 
 Divergence in net query results (tolerance-based multiset comparison,
 :mod:`repro.engine.compare`), in WorkMeter invariants, or in the *class*
@@ -221,7 +228,42 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
 
         attempt("sql", run_sql)
 
-    failures = _verdict(case, queries, outcomes, reference, rel_tol, abs_tol)
+    service_slots = {}
+    if case.get("service"):
+
+        def run_service():
+            from ..core.optimizer import OptimizerConfig
+            from ..service.core import QueryService
+
+            spec = case["service"]
+            svc = QueryService(
+                lambda window: grammar.build_catalog(case),
+                OptimizerConfig(
+                    max_pace=max(1, int(case.get("pace_ceiling", 1))),
+                    stream_config=config,
+                ),
+            )
+            for query in queries:
+                svc.register(
+                    query, "t%d" % (query.query_id % 2),
+                    spec.get("goal", 50.0),
+                )
+            for _ in range(max(1, int(spec.get("windows", 2))) - 1):
+                svc.run_window()
+            for qid in spec.get("dropouts", ()):
+                # the shrinker mutates cases freely: only drop queries
+                # that are actually live, and never the last one
+                if qid in svc.registrations and len(svc.registrations) > 1:
+                    svc.deregister(qid)
+            outcome = svc.run_window(collect_results=True)
+            service_slots.update(svc.slots)
+            return outcome.run, svc.plan, svc.paces
+
+        attempt("service", run_service)
+
+    failures = _verdict(
+        case, queries, outcomes, reference, rel_tol, abs_tol, service_slots
+    )
     if failures is REJECTED:
         return CaseReport(case, "rejected", [], outcomes)
     status = "fail" if failures else "ok"
@@ -248,7 +290,8 @@ def _decomposition_target(plan, spec):
     return subplan.sid, [tuple(sorted(qids[:cut])), tuple(sorted(qids[cut:]))]
 
 
-def _verdict(case, queries, outcomes, reference, rel_tol, abs_tol):
+def _verdict(case, queries, outcomes, reference, rel_tol, abs_tol,
+             service_slots=None):
     failures = []
     if reference.error is not None:
         ref_class = type(reference.error)
@@ -273,6 +316,19 @@ def _verdict(case, queries, outcomes, reference, rel_tol, abs_tol):
             continue
         failures.extend(_check_invariants(name, outcome))
         if name == "unshared":
+            continue
+        if name == "service":
+            # the service renumbers external ids onto dense slots and
+            # deregistered queries have no final-window result: compare
+            # only the survivors, through the slot map
+            slots = service_slots or {}
+            failures.extend(
+                _compare_results(
+                    name, outcome.result, reference.result,
+                    [q for q in queries if q.query_id in slots],
+                    rel_tol, abs_tol, qid_map=slots,
+                )
+            )
             continue
         failures.extend(
             _compare_results(
@@ -340,11 +396,13 @@ def _check_invariants(name, outcome):
     return failures
 
 
-def _compare_results(name, run, reference, queries, rel_tol, abs_tol):
+def _compare_results(name, run, reference, queries, rel_tol, abs_tol,
+                     qid_map=None):
     failures = []
     for query in queries:
         qid = query.query_id
-        left = run.query_results.get(qid, {})
+        left_qid = qid_map[qid] if qid_map is not None else qid
+        left = run.query_results.get(left_qid, {})
         right = reference.query_results.get(qid, {})
         if results_close(left, right, rel_tol=rel_tol, abs_tol=abs_tol):
             continue

@@ -18,8 +18,9 @@ executions").
 
 from ..core.decompose import decompose_full_plan
 from ..core.greedy import PaceSearch
-from ..cost.memo import PlanCostModel
+from ..cost.memo import PlanCostModel, fold_run_for_feedback
 from ..engine.calibrate import calibrate_plan
+from ..errors import OptimizationError
 from ..engine.executor import PlanExecutor
 from ..engine.metrics import MissedLatencySummary
 from ..mqo.merge import MQOOptimizer, build_unshared_plan
@@ -60,8 +61,14 @@ class RecurringSimulation:
         an :class:`~repro.core.optimizer.OptimizerConfig`.
     use_feedback:
         carry yesterday's measured per-subplan corrections into today's
-        estimates (requires the plan structure to be stable day to day,
-        which it is for a fixed query batch).
+        estimates.  The freshly merged plan of a fixed query batch has
+        the same subplan ids every day, so a measurement on the
+        *pre-decomposition* plan transfers directly; when decomposition
+        rewrote yesterday's plan, the measured per-piece work is folded
+        back onto the pre-decomposition ids through the surgery's sid
+        lineage (:func:`repro.cost.memo.fold_run_for_feedback`), with
+        merge-tainted subplans degrading to "no measurement" rather than
+        dropping the whole window's feedback.
     """
 
     def __init__(self, make_catalog, make_queries, config, use_feedback=True):
@@ -76,6 +83,11 @@ class RecurringSimulation:
         Day 0 has no history: it calibrates and measures on its own data
         (the bootstrap run every deployment needs once).
         """
+        if not isinstance(days, int) or isinstance(days, bool) or days < 1:
+            raise OptimizationError(
+                "RecurringSimulation.run needs a positive whole number of "
+                "days, got %r" % (days,)
+            )
         outcomes = []
         history_catalog = None
         previous_run = None
@@ -99,6 +111,7 @@ class RecurringSimulation:
             found = search.find()
             plan_out, paces = plan, found.pace_config
             actions = []
+            outcome = None
             if self.config.enable_unshare:
                 outcome = decompose_full_plan(
                     plan, found.pace_config, constraints, self.config.max_pace,
@@ -124,11 +137,19 @@ class RecurringSimulation:
                 DayOutcome(day, run.total_work, missed, dict(paces), actions)
             )
 
-            # today's measured run becomes tomorrow's history (feedback is
-            # only transferable while the plan shape is unchanged)
+            # today's measured run becomes tomorrow's history; tomorrow's
+            # freshly merged plan reproduces *this* plan's pre-decomposition
+            # sids, so a run measured on a decomposed plan is folded back
+            # onto them through the surgery's sid lineage
             history_catalog = today
-            previous_run = run if plan_out is plan else None
-            previous_paces = dict(paces) if plan_out is plan else None
+            if plan_out is plan:
+                previous_run = run
+                previous_paces = dict(paces)
+            else:
+                previous_run, previous_paces = fold_run_for_feedback(
+                    run, paces, outcome.sid_origin, outcome.tainted_origins,
+                    base_paces=found.pace_config,
+                )
         return outcomes
 
     def _goals(self, catalog, queries, relative_constraints):

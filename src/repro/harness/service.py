@@ -1,0 +1,217 @@
+"""Sharded execution of a churn schedule over the worker pool.
+
+Tenants are statically sharded -- ``crc32(tenant) % shards``, a stable
+hash, unlike salted ``hash()`` -- and each shard is one fully independent
+:class:`~repro.service.core.QueryService` with its own plan, catalog
+stream and admission queue.  Sharding by *tenant* keeps every tenant's
+queries (and its fairness budget) on one service; cross-tenant work
+sharing is deliberately given up at the shard boundary, which is the
+standard scale-out trade of a shared-execution service.
+
+The serial path replays shards in index order; ``jobs>1`` fans the same
+shard schedules out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(reusing :mod:`repro.harness.parallel`'s worker error capture and
+observability shipping) and merges results in shard order.  The whole
+pipeline is a seeded simulation, so the merged report is bit-identical
+to the serial one at any job count.
+"""
+
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+
+from .. import obs
+from ..core.optimizer import OptimizerConfig
+from ..cost import cache as calibration_cache
+from ..engine.stream import StreamConfig
+from ..errors import ReproError, ServiceError
+from ..service.core import QueryService
+from ..service.schedule import replay_schedule, tenant_of_events, validate_schedule
+from ..workloads.tpch import build_query as tpch_build_query
+from ..workloads.tpch import generate_catalog
+from .parallel import _CapturedError, _reraise, resolve_jobs
+
+
+def shard_of(tenant, shards):
+    """The shard index owning ``tenant`` (stable across processes/runs)."""
+    return zlib.crc32(tenant.encode("utf-8")) % shards
+
+
+def build_shard_service(shard_schedule):
+    """One shard's :class:`QueryService` plus its query factory.
+
+    The workload spec names a TPC-H window stream: ``scale``, ``seed``
+    (window ``w`` draws ``seed + w * window_seed_stride``).  Returns
+    ``(service, build_query)`` for :func:`~repro.service.schedule.replay_schedule`.
+    """
+    spec = shard_schedule.get("workload", {})
+    scale = float(spec.get("scale", 0.05))
+    seed = int(spec.get("seed", 100))
+    stride = int(spec.get("window_seed_stride", 1))
+
+    def make_catalog(window):
+        return generate_catalog(scale=scale, seed=seed + window * stride)
+
+    stream_config = StreamConfig()
+    if "state_factor" in shard_schedule:
+        stream_config = StreamConfig(
+            state_factor=float(shard_schedule["state_factor"])
+        )
+    config = OptimizerConfig(
+        max_pace=int(shard_schedule.get("max_pace", 8)),
+        stream_config=stream_config,
+    )
+    service = QueryService(
+        make_catalog,
+        config,
+        admission=shard_schedule.get("admission", "reject"),
+        tenant_budgets=shard_schedule.get("tenant_budgets"),
+    )
+
+    def build_query(name, query_id):
+        return tpch_build_query(service.basis_catalog, name, query_id)
+
+    return service, build_query
+
+
+def _run_shard(shard_index, shard_schedule, collect_results=False):
+    """Replay one shard's schedule; returns its JSON-native report."""
+    service, build_query = build_shard_service(shard_schedule)
+    outcomes, decisions = replay_schedule(
+        service, shard_schedule, build_query, collect_results=collect_results
+    )
+    return {
+        "shard": shard_index,
+        "windows": [outcome.to_dict() for outcome in outcomes],
+        "admission": [decision.to_dict() for decision in decisions],
+    }
+
+
+# -- worker side -----------------------------------------------------------------
+
+def _init_service_worker(cache_dir, obs_enabled):
+    import os
+
+    if cache_dir is not None:
+        calibration_cache.set_default_cache(
+            calibration_cache.CalibrationCache(cache_dir)
+        )
+    # forked workers inherit the driver's live session -- reset it
+    obs.disable()
+    if obs_enabled:
+        obs.enable(process_name="repro-service-%d" % os.getpid())
+
+
+def _service_worker(shard_index, shard_schedule):
+    try:
+        report = _run_shard(shard_index, shard_schedule)
+    except ReproError as exc:
+        report = _CapturedError(exc)
+    return shard_index, report, obs.drain_worker_payload()
+
+
+# -- driver side -----------------------------------------------------------------
+
+def run_service_schedule(schedule, jobs=1):
+    """Run a churn schedule across tenant shards; returns the merged report.
+
+    ``jobs=1`` replays shards serially in index order; ``jobs>1``
+    distributes whole shards over worker processes.  Either way the
+    report -- window outcomes, admission decisions, summary -- is
+    bit-identical, and observability payloads are absorbed in shard
+    order so decision logs and metrics merge deterministically too.
+    """
+    ordered = validate_schedule(schedule)
+    shards = schedule.get("shards", 1)
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise ServiceError(
+            "schedule 'shards' must be a positive integer, got %r" % (shards,)
+        )
+    owners = tenant_of_events(ordered)
+    shard_events = [[] for _ in range(shards)]
+    for _, event in ordered:
+        tenant = event.get("tenant") or owners[event["query_id"]]
+        shard_events[shard_of(tenant, shards)].append(event)
+    base = {key: value for key, value in schedule.items() if key != "events"}
+    shard_schedules = [
+        dict(base, events=events) for events in shard_events
+    ]
+
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or shards <= 1:
+        reports = [
+            _run_shard(index, shard_schedule)
+            for index, shard_schedule in enumerate(shard_schedules)
+        ]
+    else:
+        cache = calibration_cache.get_default_cache()
+        cache_dir = cache.cache_dir if cache is not None else None
+        observing = obs.is_enabled()
+        reports = [None] * shards
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, shards),
+            initializer=_init_service_worker,
+            initargs=(cache_dir, observing),
+        ) as pool:
+            futures = [
+                pool.submit(_service_worker, index, shard_schedule)
+                for index, shard_schedule in enumerate(shard_schedules)
+            ]
+            completed = {}
+            for future in futures:
+                shard_index, report, payload = future.result()
+                completed[shard_index] = (report, payload)
+            # absorb observability and surface errors in shard order, so
+            # the merged sequence matches the serial replay exactly
+            for shard_index in range(shards):
+                report, payload = completed[shard_index]
+                obs.absorb_worker_payload(payload)
+                if isinstance(report, _CapturedError):
+                    _reraise(report)
+                reports[shard_index] = report
+    return {
+        "schedule": {
+            "windows": schedule["windows"],
+            "window_seconds": schedule.get("window_seconds", 60.0),
+            "shards": shards,
+            "admission": schedule.get("admission", "reject"),
+        },
+        "shards": reports,
+        "summary": summarize_reports(reports),
+    }
+
+
+def summarize_reports(reports):
+    """SLO-miss rate, work per query-window and admission tallies."""
+    slo_checks = 0
+    slo_misses = 0
+    total_work = 0.0
+    tenants = {}
+    statuses = {"admitted": 0, "rejected": 0, "queued": 0}
+    for report in reports:
+        for window in report["windows"]:
+            total_work += window["total_work"]
+            for entry in window["queries"].values():
+                slo_checks += 1
+                if entry["missed_seconds"] > 0:
+                    slo_misses += 1
+            for tenant, bucket in window["tenants"].items():
+                merged = tenants.setdefault(
+                    tenant, {"work": 0.0, "query_windows": 0, "slo_misses": 0}
+                )
+                merged["work"] += bucket["work"]
+                merged["query_windows"] += bucket["queries"]
+                merged["slo_misses"] += bucket["slo_misses"]
+        for decision in report["admission"]:
+            if decision["status"] in statuses:
+                statuses[decision["status"]] += 1
+    return {
+        "total_work": total_work,
+        "query_windows": slo_checks,
+        "slo_misses": slo_misses,
+        "slo_miss_rate": (slo_misses / slo_checks) if slo_checks else 0.0,
+        "work_per_query_window": (
+            total_work / slo_checks if slo_checks else 0.0
+        ),
+        "tenants": {t: tenants[t] for t in sorted(tenants)},
+        "admission": statuses,
+    }

@@ -19,7 +19,17 @@ event-specific fields:
   after;
 * ``repair_split`` / ``repair_merge`` -- plan-regeneration surgery:
   parents split along partition boundaries and single-consumer chains
-  merged back.
+  merged back;
+* ``service_admission`` / ``service_deregister`` -- the long-running
+  service's registration churn: every admission decision (admitted /
+  rejected / queued, with its reason) and every removal;
+* ``service_plan_update`` -- one incremental re-merge, with the subplan
+  count and the sids reused versus recalibrated;
+* ``service_reoptimize`` -- one churn-triggered re-search, with its
+  scope (``incremental`` vs ``full``), the subplans reused versus
+  recalibrated, memo rows carried and search iterations;
+* ``service_trigger`` -- one trigger-window execution with its total
+  work and live query count.
 
 The log is plain data: consumers filter ``records`` in memory or read
 the exported ``.jsonl`` one object per line.

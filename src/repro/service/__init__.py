@@ -1,0 +1,19 @@
+"""Long-running multi-tenant service mode (``python -m repro.service``).
+
+See :mod:`repro.service.core` for the service itself,
+:mod:`repro.service.schedule` for scripted churn schedules, and
+:mod:`repro.harness.service` for the sharded multi-process driver.
+"""
+
+from .core import AdmissionDecision, QueryService, Registration, TriggerOutcome
+from .schedule import DEMO_SCHEDULE, replay_schedule, validate_schedule
+
+__all__ = [
+    "AdmissionDecision",
+    "QueryService",
+    "Registration",
+    "TriggerOutcome",
+    "DEMO_SCHEDULE",
+    "replay_schedule",
+    "validate_schedule",
+]

@@ -1,0 +1,488 @@
+"""The long-running query service: a live shared plan under churn.
+
+One :class:`QueryService` owns one shared plan for the lifetime of the
+process.  Tenants register and deregister queries at runtime, each with
+its own relative latency goal; simulated data arrival fires trigger
+windows; between the two the optimizer re-optimizes *incrementally*
+(:mod:`repro.core.incremental`) -- matched subplans keep their calibrated
+statistics, memo rows, feedback corrections and paces, and only the
+subplans whose query sets changed are recalibrated and re-searched.
+
+Admission control evaluates every registration before adopting it: a
+goal that cannot be met even at maximum eagerness under the current load
+is provably unsatisfiable under the cost model and is rejected (or
+queued, in ``admission="queue"`` mode, to be retried whenever a
+deregistration frees capacity).  Per-tenant fairness is enforced through
+work budgets: a tenant's registrations may not demand more estimated
+solo work per window than its budget.
+
+Statistics are calibrated against the service's *basis* window (the
+first window's data) and then kept honest by the measured-execution
+feedback loop (paper section 3.2): after every trigger the measured
+per-subplan work recalibrates the cost model the next re-optimization
+uses.
+"""
+
+from ..core.incremental import carry_paces, incremental_pace_search, merge_with_carry
+from ..core.optimizer import OptimizerConfig
+from ..core.pace import uniform_configuration
+from ..engine.executor import PlanExecutor
+from ..engine.metrics import missed_latency
+from ..errors import OptimizationError, ServiceError
+from ..logical.ops import Query
+from ..obs import OBS
+
+
+class Registration:
+    """One tenant's live query with its latency goal."""
+
+    __slots__ = ("query_id", "tenant", "name", "query", "relative_goal",
+                 "registered_window")
+
+    def __init__(self, query_id, tenant, query, relative_goal, registered_window):
+        self.query_id = query_id
+        self.tenant = tenant
+        self.name = getattr(query, "name", None) or "q%d" % query_id
+        self.query = query
+        self.relative_goal = relative_goal
+        self.registered_window = registered_window
+
+    def __repr__(self):
+        return "Registration(q%d, tenant=%s, goal=%g)" % (
+            self.query_id, self.tenant, self.relative_goal
+        )
+
+
+class AdmissionDecision:
+    """The audit record of one registration attempt."""
+
+    __slots__ = ("query_id", "tenant", "status", "reason", "window")
+
+    def __init__(self, query_id, tenant, status, reason, window):
+        self.query_id = query_id
+        self.tenant = tenant
+        self.status = status  # admitted | rejected | queued
+        self.reason = reason
+        self.window = window
+
+    def to_dict(self):
+        return {
+            "query_id": self.query_id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "reason": self.reason,
+            "window": self.window,
+        }
+
+    def __repr__(self):
+        return "AdmissionDecision(q%d %s: %s)" % (
+            self.query_id, self.status, self.reason
+        )
+
+
+class TriggerOutcome:
+    """What one trigger window produced, JSON-navigable via :meth:`to_dict`."""
+
+    __slots__ = ("window", "total_work", "queries", "tenants", "reoptimized",
+                 "run")
+
+    def __init__(self, window, total_work, queries, tenants, reoptimized,
+                 run=None):
+        self.window = window
+        self.total_work = total_work
+        #: {qid: {tenant, name, latency/goal seconds, missed}}
+        self.queries = queries
+        #: {tenant: {work, queries, slo_misses}}
+        self.tenants = tenants
+        self.reoptimized = reoptimized
+        self.run = run  # the raw RunResult (not serialized)
+
+    def to_dict(self):
+        return {
+            "window": self.window,
+            "total_work": self.total_work,
+            "reoptimized": self.reoptimized,
+            "queries": {str(qid): dict(q) for qid, q in sorted(self.queries.items())},
+            "tenants": {t: dict(v) for t, v in sorted(self.tenants.items())},
+        }
+
+    def __repr__(self):
+        return "TriggerOutcome(window=%d, work=%.1f, queries=%d)" % (
+            self.window, self.total_work, len(self.queries)
+        )
+
+
+class QueryService:
+    """A long-running scheduler owning one live shared plan.
+
+    Parameters
+    ----------
+    make_catalog:
+        ``window -> Catalog`` factory for each trigger window's data
+        (same schemas, fresh rows).  Window 0 doubles as the calibration
+        basis.
+    config:
+        an :class:`~repro.core.optimizer.OptimizerConfig`; its stream
+        config drives execution and the work-to-seconds conversion.
+    admission:
+        ``"reject"`` turns away an inadmissible registration for good;
+        ``"queue"`` parks it and retries (FIFO) after each
+        deregistration.
+    tenant_budgets:
+        optional ``{tenant: work_units}`` fairness budgets; a tenant's
+        live queries may not demand more estimated solo batch work than
+        its budget.
+    use_feedback:
+        apply each window's measured per-subplan work as cost-model
+        corrections for the next re-optimization.
+    """
+
+    def __init__(self, make_catalog, config=None, admission="reject",
+                 tenant_budgets=None, use_feedback=True):
+        if admission not in ("reject", "queue"):
+            raise ServiceError(
+                "admission mode must be 'reject' or 'queue', got %r" % (admission,)
+            )
+        self.make_catalog = make_catalog
+        self.config = config or OptimizerConfig()
+        self.admission = admission
+        self.tenant_budgets = dict(tenant_budgets or {})
+        self.use_feedback = use_feedback
+        self.window = 0
+        self.registrations = {}  # qid -> Registration, insertion-ordered
+        self.pending = []  # queued registrations (admission="queue")
+        self.decisions = []  # every AdmissionDecision ever made
+        self.plan = None
+        self.model = None
+        self.paces = None  # None marks the configuration dirty
+        #: external query id -> dense bitvector slot in the live plan.
+        #: The MQO layer needs ids 0..N-1; tenants pick arbitrary ids and
+        #: churn leaves holes, so the service renumbers on every re-merge
+        #: (registration order, so registering never moves a live slot).
+        self.slots = {}
+        self._initial_paces = {}
+        self._executor = None
+        self._basis = None
+        self._last_merge = None
+        self._goals = {}
+
+    # -- registration lifecycle ---------------------------------------------
+
+    @property
+    def basis_catalog(self):
+        """The calibration-basis catalog (window 0's data), built lazily."""
+        if self._basis is None:
+            self._basis = self.make_catalog(0)
+        return self._basis
+
+    def register(self, query, tenant, relative_goal):
+        """Attempt to admit ``query`` for ``tenant``.
+
+        Returns the :class:`AdmissionDecision`; only ``"admitted"``
+        changes the live plan.  Invalid *requests* (bad goal, duplicate
+        id) raise :class:`~repro.errors.ServiceError`; an admissible
+        request with an unsatisfiable goal is a valid request with a
+        negative answer, not an error.
+        """
+        query_id = getattr(query, "query_id", None)
+        if not isinstance(query_id, int) or isinstance(query_id, bool) or query_id < 0:
+            raise ServiceError(
+                "a registered query needs a non-negative integer query_id, "
+                "got %r" % (query_id,)
+            )
+        if not isinstance(tenant, str) or not tenant:
+            raise ServiceError("tenant must be a non-empty string, got %r" % (tenant,))
+        if not isinstance(relative_goal, (int, float)) or isinstance(relative_goal, bool) \
+                or relative_goal <= 0:
+            raise ServiceError(
+                "query %d: latency goal must be a positive number, got %r"
+                % (query_id, relative_goal)
+            )
+        if query_id in self.registrations or any(
+            r.query_id == query_id for r in self.pending
+        ):
+            raise ServiceError(
+                "query id %d is already registered%s; deregister it first or "
+                "pick a fresh id" % (
+                    query_id,
+                    " (queued)" if query_id not in self.registrations else "",
+                )
+            )
+        registration = Registration(
+            query_id, tenant, query, float(relative_goal), self.window
+        )
+        decision = self._try_admit(registration)
+        self.decisions.append(decision)
+        if decision.status == "queued":
+            self.pending.append(registration)
+        if OBS.enabled:
+            OBS.declog.log(
+                "service_admission", **decision.to_dict()
+            )
+            OBS.metrics.counter(
+                "service.admissions", status=decision.status
+            ).inc()
+        return decision
+
+    def deregister(self, query_id):
+        """Remove a live (or queued) query; frees capacity for the queue.
+
+        Referencing an unknown or already-deregistered id raises a
+        descriptive :class:`~repro.errors.OptimizationError`.
+        """
+        for index, registration in enumerate(self.pending):
+            if registration.query_id == query_id:
+                del self.pending[index]
+                if OBS.enabled:
+                    OBS.declog.log(
+                        "service_deregister", query_id=query_id,
+                        tenant=registration.tenant, queued=True,
+                    )
+                return registration
+        registration = self.registrations.pop(query_id, None)
+        if registration is None:
+            live = sorted(self.registrations)
+            raise OptimizationError(
+                "cannot deregister query id %r: not registered (live ids: %s); "
+                "was it already deregistered?"
+                % (query_id, live if live else "none")
+            )
+        if OBS.enabled:
+            OBS.declog.log(
+                "service_deregister", query_id=query_id,
+                tenant=registration.tenant, queued=False,
+            )
+        if self.registrations:
+            merge, slots = self._merge(list(self.registrations.values()))
+            self._adopt(merge, slots)
+        else:
+            self.plan = None
+            self.model = None
+            self.paces = None
+            self.slots = {}
+            self._initial_paces = {}
+            self._last_merge = None
+            self._goals = {}
+        self._retry_pending()
+        return registration
+
+    def _retry_pending(self):
+        """FIFO re-admission pass over the queue after capacity changed."""
+        still_pending = []
+        for registration in self.pending:
+            decision = self._try_admit(registration)
+            decision.reason = "retry: " + decision.reason
+            if decision.status == "queued":
+                still_pending.append(registration)
+            self.decisions.append(decision)
+            if OBS.enabled:
+                OBS.declog.log("service_admission", **decision.to_dict())
+        self.pending = still_pending
+
+    def _merge(self, registrations):
+        """Re-merge ``registrations`` onto dense slots, carrying live state.
+
+        Returns ``(merge, slots)`` where ``slots`` is the new external
+        id -> dense slot map.  The qid translation handed to the matcher
+        lets subplans keep their calibrated state even when a departed
+        query shifted every later slot down.
+        """
+        queries = []
+        slots = {}
+        for slot, registration in enumerate(registrations):
+            slots[registration.query_id] = slot
+            queries.append(Query(slot, registration.name, registration.query.root))
+        qid_map = {
+            slots[ext]: self.slots[ext]
+            for ext in slots
+            if ext in self.slots
+        }
+        merge = merge_with_carry(
+            self.basis_catalog, queries, self.config,
+            self.plan, self.model, qid_map=qid_map,
+        )
+        return merge, slots
+
+    def _try_admit(self, registration):
+        """Check a registration against goal feasibility and tenant budget.
+
+        Builds the candidate plan (incrementally, against the live one)
+        and evaluates the new query's final work at maximum eagerness: if
+        even ``P_max`` cannot meet the absolute bound, the goal is
+        provably unsatisfiable under the cost model and current load.
+        Admitting adopts the candidate plan; the pace search itself is
+        deferred to the next trigger so bursts of churn coalesce into one
+        re-search.
+        """
+        qid = registration.query_id
+        queued = self.admission == "queue"
+        candidates = list(self.registrations.values())
+        candidates.append(registration)
+        merge, slots = self._merge(candidates)
+        slot = slots[qid]
+        solo_total, _ = merge.model.solo_batch(slot)
+        bound = registration.relative_goal * solo_total
+        eager = merge.model.evaluate(
+            uniform_configuration(merge.plan, self.config.max_pace)
+        )
+        final_at_max = eager.query_final_work.get(slot, 0.0)
+        if final_at_max > bound:
+            return AdmissionDecision(
+                qid, registration.tenant,
+                "queued" if queued else "rejected",
+                "goal_unsatisfiable: final work %.1f at max pace %d exceeds "
+                "bound %.1f (goal %g x solo %.1f)" % (
+                    final_at_max, self.config.max_pace, bound,
+                    registration.relative_goal, solo_total,
+                ),
+                self.window,
+            )
+        budget = self.tenant_budgets.get(registration.tenant)
+        if budget is not None:
+            demand = solo_total
+            for other in self.registrations.values():
+                if other.tenant == registration.tenant:
+                    demand += merge.model.solo_batch(slots[other.query_id])[0]
+            if demand > budget:
+                return AdmissionDecision(
+                    qid, registration.tenant,
+                    "queued" if queued else "rejected",
+                    "tenant_budget: estimated solo work %.1f exceeds budget "
+                    "%.1f" % (demand, budget),
+                    self.window,
+                )
+        self.registrations[qid] = registration
+        self._adopt(merge, slots)
+        return AdmissionDecision(
+            qid, registration.tenant, "admitted", "capacity available",
+            self.window,
+        )
+
+    def _adopt(self, merge, slots):
+        """Make a merge outcome the live plan; pace search stays deferred."""
+        current = self.paces if self.paces is not None else self._initial_paces
+        self._initial_paces = carry_paces(
+            merge.plan, merge.matched, current, self.config.max_pace
+        )
+        self.plan = merge.plan
+        self.model = merge.model
+        self.slots = slots
+        self.paces = None  # dirty: re-searched lazily at the next trigger
+        self._last_merge = merge
+
+    # -- trigger firings ------------------------------------------------------
+
+    def _reoptimize(self):
+        """Subplan-scoped pace re-search for the current (dirty) plan."""
+        constraints = {}  # keyed by dense slot: the model's id space
+        goals = {}  # keyed by external id: the reporting id space
+        for qid, registration in self.registrations.items():
+            slot = self.slots[qid]
+            solo_total, _ = self.model.solo_batch(slot)
+            constraints[slot] = registration.relative_goal * solo_total
+            goals[qid] = self.config.stream_config.seconds(constraints[slot])
+        paces, evaluation, iterations = incremental_pace_search(
+            self.model, constraints, self._initial_paces, self.config.max_pace
+        )
+        self.paces = paces
+        self._goals = goals
+        merge = self._last_merge
+        if OBS.enabled:
+            OBS.declog.log(
+                "service_reoptimize",
+                window=self.window,
+                scope="incremental" if merge is not None and merge.matched
+                else "full",
+                subplans=len(self.plan.subplans),
+                reused=sorted(merge.matched) if merge is not None else [],
+                recalibrated=list(merge.fresh_sids) if merge is not None else [],
+                memo_rows_carried=merge.memo_rows_carried if merge is not None else 0,
+                search_iterations=iterations,
+                total_work=round(evaluation.total_work, 4),
+            )
+        return evaluation
+
+    def run_window(self, collect_results=False):
+        """Fire one trigger window; returns a :class:`TriggerOutcome`.
+
+        Advances the window clock even when no query is live (an idle
+        window), so registrations arriving later land on the right data.
+        """
+        window = self.window
+        if not self.registrations:
+            self.window += 1
+            return TriggerOutcome(window, 0.0, {}, {}, reoptimized=False)
+        reoptimized = self.paces is None
+        if reoptimized:
+            self._reoptimize()
+        today = self.make_catalog(window) if window > 0 else self.basis_catalog
+        if self._executor is None:
+            self._executor = PlanExecutor(
+                self.plan, self.config.stream_config, catalog=today
+            )
+        else:
+            self._executor.rebind(plan=self.plan, catalog=today)
+        run = self._executor.run(self.paces, collect_results=collect_results)
+
+        queries = {}
+        tenants = {}
+        work_share = self._attribute_work(run)
+        for qid, registration in self.registrations.items():
+            latency = run.query_latency_seconds(self.slots[qid])
+            goal = self._goals[qid]
+            missed_abs, missed_rel = missed_latency(latency, goal)
+            queries[qid] = {
+                "tenant": registration.tenant,
+                "name": registration.name,
+                "latency_seconds": latency,
+                "goal_seconds": goal,
+                "missed_seconds": missed_abs,
+                "missed_relative": missed_rel,
+            }
+            bucket = tenants.setdefault(
+                registration.tenant,
+                {"work": 0.0, "queries": 0, "slo_misses": 0},
+            )
+            bucket["work"] += work_share.get(self.slots[qid], 0.0)
+            bucket["queries"] += 1
+            if missed_abs > 0:
+                bucket["slo_misses"] += 1
+        if self.use_feedback:
+            self.model.apply_feedback(run, self.paces)
+        if OBS.enabled:
+            OBS.declog.log(
+                "service_trigger", window=window,
+                total_work=round(run.total_work, 4),
+                queries=len(queries), reoptimized=reoptimized,
+            )
+            for tenant, bucket in sorted(tenants.items()):
+                OBS.metrics.counter(
+                    "service.tenant.work", tenant=tenant
+                ).inc(round(bucket["work"], 4))
+                OBS.metrics.counter(
+                    "service.tenant.slo_misses", tenant=tenant
+                ).inc(bucket["slo_misses"])
+        self.window += 1
+        return TriggerOutcome(
+            window, run.total_work, queries, tenants,
+            reoptimized=reoptimized, run=run,
+        )
+
+    def _attribute_work(self, run):
+        """Deterministic per-query share of the measured total work.
+
+        Each subplan's measured work is split evenly among the queries it
+        serves -- the paper's shared subplans have no finer-grained
+        attribution -- and summed per query.  This is the basis of the
+        per-tenant fairness accounting.
+        """
+        shares = {}
+        for subplan in self.plan.subplans:
+            work = run.subplan_total_work.get(subplan.sid, 0.0)
+            qids = subplan.query_ids()
+            if not qids:
+                continue
+            share = work / len(qids)
+            for qid in qids:
+                shares[qid] = shares.get(qid, 0.0) + share
+        return shares

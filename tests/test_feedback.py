@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.cost.memo import PlanCostModel
+from repro.cost.memo import (
+    FEEDBACK_FACTOR_MAX,
+    FEEDBACK_FACTOR_MIN,
+    PlanCostModel,
+    clamp_feedback_factor,
+)
 from repro.cost.model import CostConfig
 from repro.engine.calibrate import calibrate_plan
 from repro.engine.executor import PlanExecutor
@@ -62,6 +67,57 @@ class TestFeedback:
         )
         model.apply_feedback(None, None)
         assert model.evaluate(paces).total_work == pytest.approx(raw)
+
+    def test_measured_zero_work_calibrates_down(self, setup):
+        """Regression: a measured 0.0 used to be conflated with "absent".
+
+        ``if measured_total`` treated a subplan that verifiably did zero
+        work like one that was never measured (factor 1.0); the estimate
+        stayed inflated forever.  Zero against a positive estimate must
+        calibrate down to the clamp floor.
+        """
+        plan, model, executor = setup
+
+        class FakeRun:
+            subplan_total_work = {s.sid: 0.0 for s in plan.subplans}
+            subplan_final_work = {s.sid: 0.0 for s in plan.subplans}
+
+        paces = {s.sid: 2 for s in plan.subplans}
+        factors = model.apply_feedback(FakeRun(), paces)
+        for total_factor, final_factor in factors.values():
+            assert total_factor == FEEDBACK_FACTOR_MIN
+            assert final_factor == FEEDBACK_FACTOR_MIN
+        model.apply_feedback(None, None)
+
+    def test_absent_measurement_keeps_factor_one(self, setup):
+        """``None`` (sid missing from the run) still means "no data"."""
+        plan, model, executor = setup
+
+        class FakeRun:
+            subplan_total_work = {}
+            subplan_final_work = {}
+
+        paces = {s.sid: 2 for s in plan.subplans}
+        factors = model.apply_feedback(FakeRun(), paces)
+        assert all(pair == (1.0, 1.0) for pair in factors.values())
+        model.apply_feedback(None, None)
+
+    def test_factors_clamped_to_documented_range(self, setup):
+        plan, model, executor = setup
+
+        class FakeRun:
+            subplan_total_work = {s.sid: 1e12 for s in plan.subplans}
+            subplan_final_work = {s.sid: 1e-12 for s in plan.subplans}
+
+        paces = {s.sid: 2 for s in plan.subplans}
+        factors = model.apply_feedback(FakeRun(), paces)
+        for total_factor, final_factor in factors.values():
+            assert total_factor == FEEDBACK_FACTOR_MAX
+            assert FEEDBACK_FACTOR_MIN <= final_factor <= FEEDBACK_FACTOR_MAX
+        model.apply_feedback(None, None)
+        assert clamp_feedback_factor(0.0) == FEEDBACK_FACTOR_MIN
+        assert clamp_feedback_factor(float("inf")) == FEEDBACK_FACTOR_MAX
+        assert clamp_feedback_factor(1.0) == 1.0
 
     def test_feedback_returns_factors(self, setup):
         plan, model, executor = setup

@@ -1,0 +1,295 @@
+"""Tests for the long-running multi-tenant service mode."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.optimizer import OptimizerConfig
+from repro.errors import OptimizationError, ServiceError
+from repro.harness.service import run_service_schedule, shard_of
+from repro.logical.ops import Query
+from repro.obs import OBS
+from repro.service.core import QueryService
+from repro.service.schedule import DEMO_SCHEDULE, validate_schedule
+from repro.engine.compare import assert_results_close
+
+from .util import (
+    batch_reference,
+    make_toy_catalog,
+    toy_query_max,
+    toy_query_region,
+    toy_query_total,
+)
+
+
+def toy_service(**kwargs):
+    """A service over the deterministic toy star schema."""
+    return QueryService(
+        lambda window: make_toy_catalog(seed=41 + window),
+        OptimizerConfig(max_pace=6),
+        **kwargs,
+    )
+
+
+class TestRegistrationValidation:
+    def test_rejects_bad_query_id(self):
+        service = toy_service()
+        query = toy_query_total(service.basis_catalog, 0)
+        query.query_id = "zero"
+        with pytest.raises(ServiceError, match="query_id"):
+            service.register(query, "a", 0.5)
+
+    def test_rejects_empty_tenant(self):
+        service = toy_service()
+        query = toy_query_total(service.basis_catalog, 0)
+        with pytest.raises(ServiceError, match="tenant"):
+            service.register(query, "", 0.5)
+
+    def test_rejects_non_positive_goal(self):
+        service = toy_service()
+        query = toy_query_total(service.basis_catalog, 0)
+        for goal in (0, -1.0, True, "fast"):
+            with pytest.raises(ServiceError, match="goal"):
+                service.register(query, "a", goal)
+
+    def test_rejects_duplicate_query_id(self):
+        service = toy_service()
+        catalog = service.basis_catalog
+        service.register(toy_query_total(catalog, 7), "a", 5.0)
+        with pytest.raises(ServiceError, match="already registered"):
+            service.register(toy_query_region(catalog, 7), "b", 5.0)
+
+    def test_deregister_unknown_id_is_descriptive(self):
+        service = toy_service()
+        service.register(toy_query_total(service.basis_catalog, 3), "a", 5.0)
+        with pytest.raises(OptimizationError, match="not registered") as err:
+            service.deregister(99)
+        assert "3" in str(err.value)  # the live ids are listed
+        service.deregister(3)
+        with pytest.raises(OptimizationError, match="already deregistered"):
+            service.deregister(3)
+
+
+class TestAdmission:
+    def test_unsatisfiable_goal_is_rejected_not_raised(self):
+        service = toy_service()
+        query = toy_query_total(service.basis_catalog, 0)
+        decision = service.register(query, "a", 1e-12)
+        assert decision.status == "rejected"
+        assert decision.reason.startswith("goal_unsatisfiable")
+        assert service.registrations == {}
+        assert service.plan is None
+
+    def test_tenant_budget_rejection(self):
+        probe = toy_service()
+        probe.register(toy_query_total(probe.basis_catalog, 0), "a", 50.0)
+        solo = probe.model.solo_batch(probe.slots[0])[0]
+
+        service = toy_service(tenant_budgets={"a": solo * 1.5})
+        catalog = service.basis_catalog
+        assert service.register(
+            toy_query_total(catalog, 0), "a", 50.0
+        ).status == "admitted"
+        second = service.register(toy_query_region(catalog, 1), "a", 50.0)
+        assert second.status == "rejected"
+        assert second.reason.startswith("tenant_budget")
+        # another tenant is not constrained by a's budget
+        assert service.register(
+            toy_query_region(catalog, 2), "b", 50.0
+        ).status == "admitted"
+
+    def test_queue_mode_retries_after_deregistration(self):
+        probe = toy_service()
+        probe.register(toy_query_total(probe.basis_catalog, 0), "a", 50.0)
+        solo = probe.model.solo_batch(probe.slots[0])[0]
+
+        service = toy_service(
+            admission="queue", tenant_budgets={"a": solo * 1.5}
+        )
+        catalog = service.basis_catalog
+        service.register(toy_query_total(catalog, 0), "a", 50.0)
+        queued = service.register(toy_query_total(catalog, 1), "a", 50.0)
+        assert queued.status == "queued"
+        assert [r.query_id for r in service.pending] == [1]
+
+        service.deregister(0)
+        retried = [d for d in service.decisions if d.reason.startswith("retry:")]
+        assert retried and retried[-1].query_id == 1
+        assert retried[-1].status == "admitted"
+        assert service.pending == []
+        assert 1 in service.registrations
+
+    def test_invalid_admission_mode(self):
+        with pytest.raises(ServiceError, match="admission"):
+            toy_service(admission="drop")
+
+
+class TestServiceExecution:
+    def test_results_match_unshared_reference_with_sparse_ids(self):
+        # external ids 10/11/12 prove the dense-slot renumbering works
+        service = toy_service()
+        catalog = service.basis_catalog
+        dense = [
+            toy_query_total(catalog, 0),
+            toy_query_region(catalog, 1),
+            toy_query_max(catalog, 2),
+        ]
+        reference = batch_reference(catalog, dense)
+        for ext, query in zip((10, 11, 12), dense):
+            decision = service.register(
+                Query(ext, query.name, query.root), "t", 50.0
+            )
+            assert decision.status == "admitted"
+        outcome = service.run_window(collect_results=True)
+        assert outcome.reoptimized
+        for ext, query in zip((10, 11, 12), dense):
+            assert_results_close(
+                outcome.run.query_results[service.slots[ext]],
+                reference[query.query_id],
+                context="service query %d" % ext,
+            )
+
+    def test_deregistration_shifts_slots_and_reuses_subplans(self):
+        service = toy_service()
+        catalog = service.basis_catalog
+        dense = [
+            toy_query_total(catalog, 0),
+            toy_query_region(catalog, 1),
+            toy_query_max(catalog, 2),
+        ]
+        for ext, query in zip((0, 1, 2), dense):
+            service.register(query, "t", 50.0)
+        service.run_window()
+
+        service.deregister(0)  # shifts q1 -> slot 0, q2 -> slot 1
+        assert service.slots == {1: 0, 2: 1}
+        merge = service._last_merge
+        # toy_query_max shares nothing with the departed query: all of its
+        # subplans survive the re-merge with their calibrated state
+        assert merge.matched, "slot shift must not defeat subplan matching"
+
+        # the second trigger executes against window 1's data
+        window1 = make_toy_catalog(seed=42)
+        reference = batch_reference(window1, dense)
+        outcome = service.run_window(collect_results=True)
+        for ext in (1, 2):
+            assert_results_close(
+                outcome.run.query_results[service.slots[ext]],
+                reference[ext],
+                context="surviving query %d" % ext,
+            )
+
+    def test_idle_windows_advance_the_clock(self):
+        service = toy_service()
+        idle = service.run_window()
+        assert idle.total_work == 0.0 and idle.queries == {}
+        assert service.window == 1
+        service.register(
+            toy_query_total(service.basis_catalog, 0), "a", 50.0
+        )
+        assert service.registrations[0].registered_window == 1
+
+    def test_reoptimize_scope_is_incremental_on_churn(self):
+        obs.enable(process_name="test-service")
+        try:
+            service = toy_service()
+            catalog = service.basis_catalog
+            service.register(toy_query_total(catalog, 0), "a", 50.0)
+            service.run_window()
+            service.register(toy_query_max(catalog, 1), "a", 50.0)
+            service.run_window()
+            records = OBS.declog.of_event("service_reoptimize")
+            assert len(records) == 2
+            assert records[1]["scope"] == "incremental"
+            assert records[1]["reused"], "prior subplans must be reused"
+            admissions = OBS.declog.of_event("service_admission")
+            assert [r["status"] for r in admissions] == ["admitted"] * 2
+        finally:
+            obs.disable()
+
+
+class TestScheduleValidation:
+    def test_demo_schedule_is_valid(self):
+        ordered = validate_schedule(DEMO_SCHEDULE)
+        assert [e["at"] for _, e in ordered] == sorted(
+            e["at"] for e in DEMO_SCHEDULE["events"]
+        )
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ServiceError, match="unknown op"):
+            validate_schedule(
+                {"windows": 1, "events": [{"op": "pause", "at": 0, "query_id": 0}]}
+            )
+
+    def test_rejects_bad_windows(self):
+        for windows in (0, -1, None, 1.5, True):
+            with pytest.raises(ServiceError, match="windows"):
+                validate_schedule({"windows": windows, "events": []})
+
+    def test_rejects_deregister_of_never_registered(self):
+        with pytest.raises(ServiceError, match="no earlier event registered"):
+            validate_schedule(
+                {
+                    "windows": 1,
+                    "events": [{"op": "deregister", "at": 5.0, "query_id": 3}],
+                }
+            )
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ServiceError, match="'at'"):
+            validate_schedule(
+                {
+                    "windows": 1,
+                    "events": [
+                        {"op": "register", "at": -1, "query_id": 0,
+                         "tenant": "a", "query": "Q1", "goal": 1.0}
+                    ],
+                }
+            )
+
+
+SMALL_SCHEDULE = {
+    "workload": {"scale": 0.04, "seed": 100},
+    "window_seconds": 60.0,
+    "windows": 2,
+    "shards": 2,
+    "max_pace": 4,
+    "admission": "reject",
+    "events": [
+        {"at": 0.0, "op": "register", "query_id": 0, "tenant": "alpha",
+         "query": "Q1", "goal": 5.0},
+        {"at": 5.0, "op": "register", "query_id": 1, "tenant": "beta",
+         "query": "Q6", "goal": 5.0},
+        {"at": 70.0, "op": "register", "query_id": 2, "tenant": "alpha",
+         "query": "Q12", "goal": 5.0},
+    ],
+}
+
+
+class TestShardedHarness:
+    def test_shard_of_is_stable(self):
+        assert shard_of("alpha", 2) == shard_of("alpha", 2)
+        assert 0 <= shard_of("alpha", 3) < 3
+
+    def test_serial_and_parallel_reports_are_bit_identical(self):
+        serial = run_service_schedule(SMALL_SCHEDULE, jobs=1)
+        parallel = run_service_schedule(SMALL_SCHEDULE, jobs=2)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+
+    def test_summary_counts_add_up(self):
+        report = run_service_schedule(SMALL_SCHEDULE, jobs=1)
+        summary = report["summary"]
+        assert summary["admission"]["admitted"] == 3
+        assert summary["query_windows"] == sum(
+            len(w["queries"]) for shard in report["shards"]
+            for w in shard["windows"]
+        )
+        assert summary["total_work"] == pytest.approx(
+            sum(
+                w["total_work"] for shard in report["shards"]
+                for w in shard["windows"]
+            )
+        )
