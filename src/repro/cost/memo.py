@@ -235,7 +235,25 @@ class PlanCostModel:
             )
             feedback[sid] = (total_factor, final_factor)
         self._feedback = feedback
+        if OBS.enabled:
+            # Q-error of the *total-work* estimate: max(f, 1/f) >= 1, the
+            # standard symmetric under/over-estimation measure
+            qerror = OBS.metrics.histogram("cost.feedback.qerror")
+            for sid in sorted(feedback):
+                total_factor = feedback[sid][0]
+                if total_factor > 0:
+                    qerror.observe(max(total_factor, 1.0 / total_factor))
+            OBS.metrics.counter("cost.feedback.applications").inc()
         return feedback
+
+    def feedback_factors(self):
+        """The live ``{sid: (total_factor, final_factor)}`` corrections.
+
+        A copy of the measured multiplicative corrections currently
+        applied to every :meth:`evaluate` -- the regret report's oracle
+        re-scores logged pace decisions with exactly these factors.
+        """
+        return dict(self._feedback)
 
     def carry_state_from(self, old_model, sid_map, qid_map=None):
         """Warm-start this model from another model across a plan change.

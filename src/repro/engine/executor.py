@@ -20,6 +20,7 @@ buffers are pinned because :func:`query_result_view` replays them.
 """
 
 from fractions import Fraction
+from time import perf_counter
 
 from ..errors import ExecutionError
 from ..mqo.nodes import SubplanRef, TableRef
@@ -338,6 +339,9 @@ class PlanExecutor:
                 "executions": len(result.records),
                 "total_work": round(result.total_work, 2),
             })
+            OBS.metrics.histogram("engine.run.seconds").observe(
+                (OBS.tracer.now_us() - run_start_us) / 1e6
+            )
             OBS.metrics.gauge("engine.compile_cache.hits").set(
                 compile_cache_stats["hits"]
             )
@@ -383,10 +387,15 @@ def _observed_execution(unit, overhead, fraction):
     before_state = meter.state_units
     sid = unit.subplan.sid
     span = OBS.tracer.span("engine.execute", sid=sid, fraction=str(fraction))
+    started = perf_counter()
     with span:
         work, latency_work, out = unit.run_execution(overhead)
         span.set(work=round(work, 2), outputs=len(out))
+    elapsed = perf_counter() - started
     metrics = OBS.metrics
+    # wall seconds of one incremental execution: sub-millisecond at toy
+    # scales, resolved by the registry's microsecond-deep buckets
+    metrics.histogram("engine.execution.seconds").observe(elapsed)
     metrics.counter("engine.executions").inc()
     metrics.counter("engine.subplan.executions", sid=sid).inc()
     for kind, delta in (

@@ -229,9 +229,12 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
         attempt("sql", run_sql)
 
     service_slots = {}
+    service_conservation = []
     if case.get("service"):
 
         def run_service():
+            from fractions import Fraction
+
             from ..core.optimizer import OptimizerConfig
             from ..service.core import QueryService
 
@@ -257,6 +260,34 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
                     svc.deregister(qid)
             outcome = svc.run_window(collect_results=True)
             service_slots.update(svc.slots)
+            # attribution conservation oracle: the ledger's own exact
+            # re-check, plus an independent rational re-sum of the final
+            # window against the measured per-subplan WorkMeter totals --
+            # the ledger can never silently leak or double-count work
+            # across register/churn/dropout sequences
+            service_conservation.extend(
+                "service attribution: " + failure
+                for failure in svc.attribution.check_conservation()
+            )
+            _, shares = svc.attribution.windows[-1]
+            attributed = sum(shares.values(), Fraction(0))
+            served = {
+                subplan.sid for subplan in svc.plan.subplans
+                if subplan.query_ids()
+            }
+            measured = sum(
+                (
+                    Fraction(work)
+                    for sid, work in outcome.run.subplan_total_work.items()
+                    if sid in served
+                ),
+                Fraction(0),
+            )
+            if attributed != measured:
+                service_conservation.append(
+                    "service attribution: final window attributed %s != "
+                    "measured %s" % (attributed, measured)
+                )
             return outcome.run, svc.plan, svc.paces
 
         attempt("service", run_service)
@@ -266,6 +297,7 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
     )
     if failures is REJECTED:
         return CaseReport(case, "rejected", [], outcomes)
+    failures = list(failures) + service_conservation
     status = "fail" if failures else "ok"
     return CaseReport(case, status, failures, outcomes)
 

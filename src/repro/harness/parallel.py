@@ -163,6 +163,10 @@ def _init_worker(catalog, queries, config, cache_dir, obs_enabled=False):
 
 def _run_cell(index, approach, relative_constraints, pace_override):
     started = time.monotonic()
+    # stamp the decision log with this cell's stable run id (the serial
+    # loop stamps the same id), so merged logs sort by (run, seq)
+    if obs.OBS.enabled:
+        obs.OBS.declog.set_run("cell-%d" % index)
     try:
         with trace.span("harness.cell", index=index, approach=approach):
             result = _WORKER_RUNNER.run_approach(
@@ -207,18 +211,27 @@ def run_cells(runner, cells, jobs=1):
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cells) <= 1:
         outcomes = []
-        for cell in cells:
-            started = time.monotonic()
-            with trace.span("harness.cell", key=str(cell.key),
-                            approach=cell.approach):
-                result = runner.run_approach(
-                    cell.approach, cell.relative_constraints,
-                    pace_override=cell.pace_override,
+        observing = obs.is_enabled()
+        previous_run = obs.OBS.declog.run_id if observing else None
+        try:
+            for index, cell in enumerate(cells):
+                started = time.monotonic()
+                # same run id the worker path stamps for this cell
+                if observing:
+                    obs.OBS.declog.set_run("cell-%d" % index)
+                with trace.span("harness.cell", key=str(cell.key),
+                                approach=cell.approach):
+                    result = runner.run_approach(
+                        cell.approach, cell.relative_constraints,
+                        pace_override=cell.pace_override,
+                    )
+                outcomes.append(
+                    CellOutcome(cell.key, cell.approach, result,
+                                time.monotonic() - started)
                 )
-            outcomes.append(
-                CellOutcome(cell.key, cell.approach, result,
-                            time.monotonic() - started)
-            )
+        finally:
+            if observing:
+                obs.OBS.declog.set_run(previous_run)
         return outcomes
 
     cache = calibration_cache.get_default_cache()

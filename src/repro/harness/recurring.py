@@ -18,25 +18,32 @@ executions").
 
 from ..core.decompose import decompose_full_plan
 from ..core.greedy import PaceSearch
+from ..core.pace import uniform_configuration
 from ..cost.memo import PlanCostModel, fold_run_for_feedback
 from ..engine.calibrate import calibrate_plan
 from ..errors import OptimizationError
 from ..engine.executor import PlanExecutor
 from ..engine.metrics import MissedLatencySummary
 from ..mqo.merge import MQOOptimizer, build_unshared_plan
+from ..obs.slack import SlackLedger
 
 
 class DayOutcome:
     """What one trigger window produced."""
 
-    __slots__ = ("day", "total_work", "missed", "pace_config", "actions")
+    __slots__ = ("day", "total_work", "missed", "pace_config", "actions",
+                 "slack")
 
-    def __init__(self, day, total_work, missed, pace_config, actions):
+    def __init__(self, day, total_work, missed, pace_config, actions,
+                 slack=None):
         self.day = day
         self.total_work = total_work
         self.missed = missed
         self.pace_config = pace_config
         self.actions = actions
+        #: {qid: slack-ledger entry} -- per-query deadline headroom,
+        #: deferral against the eagerest plan, drift projection
+        self.slack = slack or {}
 
     def __repr__(self):
         return "DayOutcome(day=%d, work=%.0f, missed mean %.1f%%)" % (
@@ -92,6 +99,7 @@ class RecurringSimulation:
         history_catalog = None
         previous_run = None
         previous_paces = None
+        slack_ledger = SlackLedger()
         for day in range(days):
             today = self.make_catalog(day)
             basis = history_catalog if history_catalog is not None else today
@@ -133,8 +141,27 @@ class RecurringSimulation:
             missed = MissedLatencySummary()
             for qid, goal in goals.items():
                 missed.add(run.query_latency_seconds(qid), goal)
+
+            # slack accounting: headroom against the work bound, deferral
+            # against the eagerest (uniform max pace) plan's estimate --
+            # evaluated on the pre-decomposition model, whose memo the
+            # pace search already warmed
+            eager_final = self._eager_final(model, plan)
+            slack = slack_ledger.record_window(
+                day,
+                {
+                    qid: {
+                        "goal_work": bound,
+                        "final_work": run.query_final_work.get(qid, 0.0),
+                        "eager_final_work": eager_final.get(qid),
+                    }
+                    for qid, bound in constraints.items()
+                },
+                seconds=self.config.stream_config.seconds,
+            )
             outcomes.append(
-                DayOutcome(day, run.total_work, missed, dict(paces), actions)
+                DayOutcome(day, run.total_work, missed, dict(paces), actions,
+                           slack=slack)
             )
 
             # today's measured run becomes tomorrow's history; tomorrow's
@@ -151,6 +178,13 @@ class RecurringSimulation:
                     base_paces=found.pace_config,
                 )
         return outcomes
+
+    def _eager_final(self, model, plan):
+        """Estimated per-query final work at uniform maximum pace."""
+        evaluation = model.evaluate(
+            uniform_configuration(plan, self.config.max_pace)
+        )
+        return dict(evaluation.query_final_work)
 
     def _goals(self, catalog, queries, relative_constraints):
         plan = build_unshared_plan(catalog, queries)

@@ -74,15 +74,37 @@ def build_shard_service(shard_schedule):
 
 
 def _run_shard(shard_index, shard_schedule, collect_results=False):
-    """Replay one shard's schedule; returns its JSON-native report."""
-    service, build_query = build_shard_service(shard_schedule)
-    outcomes, decisions = replay_schedule(
-        service, shard_schedule, build_query, collect_results=collect_results
+    """Replay one shard's schedule; returns its JSON-native report.
+
+    The decision log is stamped with ``shard-<index>`` for the replay's
+    duration -- this is the *shared* code path of the serial loop and the
+    worker processes, so merged logs carry identical ``run`` ids at any
+    job count and sort globally by ``(run, seq)``.
+    """
+    observing = obs.is_enabled()
+    previous_run = (
+        obs.OBS.declog.set_run("shard-%d" % shard_index) if observing else None
+    )
+    try:
+        service, build_query = build_shard_service(shard_schedule)
+        outcomes, decisions = replay_schedule(
+            service, shard_schedule, build_query, collect_results=collect_results
+        )
+    finally:
+        if observing:
+            obs.OBS.declog.set_run(previous_run)
+    feedback = (
+        service.model.feedback_factors() if service.model is not None else {}
     )
     return {
         "shard": shard_index,
         "windows": [outcome.to_dict() for outcome in outcomes],
         "admission": [decision.to_dict() for decision in decisions],
+        # measured correction factors, for the regret report's oracle
+        "feedback": {
+            str(sid): [total, final]
+            for sid, (total, final) in sorted(feedback.items())
+        },
     }
 
 
@@ -138,10 +160,23 @@ def run_service_schedule(schedule, jobs=1):
 
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or shards <= 1:
-        reports = [
-            _run_shard(index, shard_schedule)
-            for index, shard_schedule in enumerate(shard_schedules)
-        ]
+        if obs.is_enabled() and shards > 1:
+            # cycle each shard's observability through the same
+            # drain/absorb path the workers use: counters then merge as
+            # per-shard sums in both modes, so even float-valued counters
+            # stay bit-identical between serial and --jobs N
+            reports = []
+            payloads = []
+            for index, shard_schedule in enumerate(shard_schedules):
+                reports.append(_run_shard(index, shard_schedule))
+                payloads.append(obs.drain_worker_payload())
+            for payload in payloads:
+                obs.absorb_worker_payload(payload)
+        else:
+            reports = [
+                _run_shard(index, shard_schedule)
+                for index, shard_schedule in enumerate(shard_schedules)
+            ]
     else:
         cache = calibration_cache.get_default_cache()
         cache_dir = cache.cache_dir if cache is not None else None
@@ -181,12 +216,17 @@ def run_service_schedule(schedule, jobs=1):
 
 
 def summarize_reports(reports):
-    """SLO-miss rate, work per query-window and admission tallies."""
+    """SLO-miss rate, work per query-window, slack and admission tallies."""
     slo_checks = 0
     slo_misses = 0
     total_work = 0.0
     tenants = {}
     statuses = {"admitted": 0, "rejected": 0, "queued": 0}
+    min_headroom = None
+    deferred_work = 0.0
+    projected_misses = 0  # queries projected to miss, as of their last window
+    latest_projection = {}  # (shard, qid) -> projected_windows_to_miss
+    conserved = True
     for report in reports:
         for window in report["windows"]:
             total_work += window["total_work"]
@@ -194,6 +234,16 @@ def summarize_reports(reports):
                 slo_checks += 1
                 if entry["missed_seconds"] > 0:
                     slo_misses += 1
+            for qid, entry in window.get("slack", {}).items():
+                headroom = entry["headroom_work"]
+                if min_headroom is None or headroom < min_headroom:
+                    min_headroom = headroom
+                deferred_work += entry.get("deferred_work") or 0.0
+                latest_projection[(report["shard"], qid)] = entry[
+                    "projected_windows_to_miss"
+                ]
+            if not window.get("attribution", {}).get("conserved", True):
+                conserved = False
             for tenant, bucket in window["tenants"].items():
                 merged = tenants.setdefault(
                     tenant, {"work": 0.0, "query_windows": 0, "slo_misses": 0}
@@ -204,6 +254,9 @@ def summarize_reports(reports):
         for decision in report["admission"]:
             if decision["status"] in statuses:
                 statuses[decision["status"]] += 1
+    projected_misses = sum(
+        1 for value in latest_projection.values() if value is not None
+    )
     return {
         "total_work": total_work,
         "query_windows": slo_checks,
@@ -212,6 +265,12 @@ def summarize_reports(reports):
         "work_per_query_window": (
             total_work / slo_checks if slo_checks else 0.0
         ),
+        "slack": {
+            "min_headroom_work": min_headroom,
+            "deferred_work": deferred_work,
+            "projected_misses": projected_misses,
+        },
+        "attribution_conserved": conserved,
         "tenants": {t: tenants[t] for t in sorted(tenants)},
         "admission": statuses,
     }

@@ -11,7 +11,16 @@ coordinated collectors:
   occupancy);
 * :mod:`repro.obs.declog` -- a structured JSON-lines log of every
   optimizer decision (pace moves with incrementability scores, clustering
-  merges with sharing benefits, decomposition adoptions, plan repairs).
+  merges with sharing benefits, decomposition adoptions, plan repairs),
+  each record stamped with a stable ``run`` id so shard-merged logs sort
+  deterministically by ``(run, seq)``.
+
+Three further modules build on the collectors without joining the
+session: :mod:`repro.obs.slack` (the per-query deadline-headroom
+ledger), :mod:`repro.obs.attribution` (exact shared-work attribution
+with a rational-arithmetic conservation invariant) and
+:mod:`repro.obs.export` (Prometheus text / JSON snapshot / HTML
+dashboard / regret report, plus a small live HTTP endpoint).
 
 All three hang off one process-wide :class:`ObservabilitySession`,
 ``OBS``.  Observability is **off by default**: every instrumented call
@@ -72,6 +81,9 @@ def enable(process_name=None):
     if not OBS.enabled:
         OBS.tracer = Tracer(process_name=process_name)
         OBS.metrics = MetricsRegistry()
+        # run ids are stamped by the harness per unit of work (set_run);
+        # the default stays "main" everywhere -- a process-derived id
+        # would leak worker pids into records and break bit-identity
         OBS.declog = DecisionLog()
         OBS.enabled = True
     return OBS

@@ -1,0 +1,164 @@
+"""Shared-work attribution: who pays for a shared subplan, exactly.
+
+A shared subplan does its work once for all its beneficiary queries, so
+per-tenant accounting has to *split* each subplan's measured WorkMeter
+total across the queries it serves.  An even split ignores that a heavy
+query shares an operator with a light one; this ledger splits
+proportionally to each query's **calibrated solo cost** of that subplan
+(:meth:`repro.cost.memo.PlanCostModel.solo_batch`'s per-subplan work) --
+the same denominator the paper's relative constraints use -- so a bill
+reflects what the query *would* have paid running alone.
+
+Conservation is the invariant that makes bills trustworthy: the
+attributed shares of one subplan must sum to exactly its measured work,
+and the per-query totals of one window must sum to exactly the window's
+measured total.  Floating-point proportional splits cannot promise that
+(``fl(a+b) != a+b``), so all share arithmetic here runs in
+:class:`fractions.Fraction`: ``work * w_i / sum(w)`` summed over ``i``
+is *identically* ``work`` in rationals.  Shares are only converted to
+float at the reporting boundary, and the conservation check compares the
+exact rationals -- "bit-for-bit" means equality of the underlying
+rational sums anchored on the measured per-subplan totals, not a
+tolerance.
+"""
+
+from fractions import Fraction
+
+
+def split_work(work, weights):
+    """Split one measured ``work`` value over ``(qid, weight)`` pairs.
+
+    Returns ``{qid: Fraction}`` whose values sum to exactly
+    ``Fraction(work)``.  Zero/negative total weight degrades to an even
+    split (every beneficiary equally likely); an empty ``weights`` list
+    returns ``{}`` (nobody to bill -- the caller decides what that means).
+    """
+    weights = list(weights)
+    if not weights:
+        return {}
+    total = Fraction(0)
+    exact = []
+    for qid, weight in weights:
+        w = Fraction(weight) if weight > 0 else Fraction(0)
+        exact.append((qid, w))
+        total += w
+    if total == 0:
+        share = Fraction(work) / len(exact)
+        return {qid: share for qid, _ in exact}
+    work = Fraction(work)
+    return {qid: work * w / total for qid, w in exact}
+
+
+class ConservationError(AssertionError):
+    """The attribution ledger leaked or double-counted work."""
+
+
+class AttributionLedger:
+    """Per-window ledger of exact shared-work attribution.
+
+    One :meth:`record_window` call per trigger window; per-query and
+    per-tenant running totals are kept as exact rationals.  JSON-facing
+    views (:meth:`window_shares`, :meth:`to_dict`) convert to float at
+    the boundary.
+    """
+
+    def __init__(self):
+        #: ``[(window, {qid: Fraction}), ...]`` in record order
+        self.windows = []
+        #: exact running totals
+        self.query_totals = {}
+        self.tenant_totals = {}
+
+    def record_window(self, window, subplan_work, beneficiaries, weight_of,
+                      tenant_of=None):
+        """Attribute one window's measured work; returns ``{qid: Fraction}``.
+
+        Parameters
+        ----------
+        subplan_work:
+            ``{sid: measured_total_work}`` (``RunResult.subplan_total_work``).
+        beneficiaries:
+            ``sid -> iterable of qids`` served by that subplan.
+        weight_of:
+            ``(sid, qid) -> solo-cost weight`` (calibrated per-subplan
+            solo work; any non-positive weight counts as zero).
+        tenant_of:
+            optional ``qid -> tenant`` for per-tenant running totals.
+        """
+        query_shares = {}
+        measured = Fraction(0)
+        for sid in sorted(subplan_work):
+            work = subplan_work[sid]
+            qids = sorted(beneficiaries(sid))
+            if not qids:
+                continue
+            measured += Fraction(work)
+            shares = split_work(work, [(qid, weight_of(sid, qid)) for qid in qids])
+            for qid, share in shares.items():
+                query_shares[qid] = query_shares.get(qid, Fraction(0)) + share
+        attributed = sum(query_shares.values(), Fraction(0))
+        if attributed != measured:
+            raise ConservationError(
+                "window %s: attributed work %s != measured work %s"
+                % (window, attributed, measured)
+            )
+        self.windows.append((window, query_shares))
+        for qid, share in query_shares.items():
+            self.query_totals[qid] = (
+                self.query_totals.get(qid, Fraction(0)) + share
+            )
+            if tenant_of is not None:
+                tenant = tenant_of(qid)
+                self.tenant_totals[tenant] = (
+                    self.tenant_totals.get(tenant, Fraction(0)) + share
+                )
+        return query_shares
+
+    def check_conservation(self):
+        """Re-verify every recorded window; returns failure strings.
+
+        The running per-query totals must also equal the rational sum of
+        the per-window shares -- a mutated ledger cannot pass silently.
+        """
+        failures = []
+        recomputed = {}
+        for window, shares in self.windows:
+            for qid, share in shares.items():
+                recomputed[qid] = recomputed.get(qid, Fraction(0)) + share
+        for qid in set(recomputed) | set(self.query_totals):
+            if recomputed.get(qid, Fraction(0)) != self.query_totals.get(
+                qid, Fraction(0)
+            ):
+                failures.append(
+                    "query %s: running total %s != recomputed %s"
+                    % (qid, self.query_totals.get(qid), recomputed.get(qid))
+                )
+        return failures
+
+    def window_shares(self, index=-1):
+        """One window's shares as floats: ``(window, {qid: work})``."""
+        window, shares = self.windows[index]
+        return window, {qid: float(share) for qid, share in shares.items()}
+
+    def to_dict(self):
+        """JSON view: float totals; conservation re-checked exactly."""
+        return {
+            "windows": len(self.windows),
+            "conserved": not self.check_conservation(),
+            "query_totals": {
+                str(qid): float(total)
+                for qid, total in sorted(self.query_totals.items())
+            },
+            "tenant_totals": {
+                tenant: float(total)
+                for tenant, total in sorted(self.tenant_totals.items())
+            },
+        }
+
+    def __len__(self):
+        return len(self.windows)
+
+    def __repr__(self):
+        return "AttributionLedger(%d windows, %d queries)" % (
+            len(self.windows), len(self.query_totals)
+        )

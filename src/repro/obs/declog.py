@@ -1,8 +1,8 @@
 """The optimizer decision log: structured JSON-lines records.
 
 Every consequential choice the optimizer pipeline makes is recorded as
-one dict with an ``event`` kind, a monotonically increasing ``seq``, and
-event-specific fields:
+one dict with an ``event`` kind, a monotonically increasing ``seq``, a
+stable ``run`` id, and event-specific fields:
 
 * ``pace_move`` / ``pace_reject`` -- the greedy ascending search's
   accepted move (with its incrementability score and extra total work)
@@ -29,7 +29,23 @@ event-specific fields:
   scope (``incremental`` vs ``full``), the subplans reused versus
   recalibrated, memo rows carried and search iterations;
 * ``service_trigger`` -- one trigger-window execution with its total
-  work and live query count.
+  work and live query count;
+* ``service_slack`` -- one window's slack-ledger roll-up: minimum
+  deadline headroom across live queries and how many are projected to
+  miss their SLO if the current drift continues.
+
+Ordering across processes
+-------------------------
+
+``seq`` alone is only unique within one log instance.  Shard-merged
+logs from ``--jobs N`` runs are re-sequenced in absorption order, which
+the harness keeps identical to the serial replay -- but a *consumer*
+joining logs from several exports still needs a global order.  For that
+every record also carries a ``run`` id: the harness stamps the active
+logical unit of work (``shard-0``, ``cell-3``, ...) via :meth:`set_run`
+from the *same* code path in serial and parallel runs, so the composite
+key ``(run, seq)`` sorts any merged log deterministically -- and
+bit-identically at every job count.
 
 The log is plain data: consumers filter ``records`` in memory or read
 the exported ``.jsonl`` one object per line.
@@ -37,27 +53,50 @@ the exported ``.jsonl`` one object per line.
 
 import json
 
+#: the run id of records logged outside any harness-stamped unit of work
+DEFAULT_RUN = "main"
+
 
 class DecisionLog:
     """An append-only list of decision records."""
 
-    def __init__(self):
+    def __init__(self, run_id=None):
         self.records = []
         self._seq = 0
+        self.run_id = run_id or DEFAULT_RUN
+
+    def set_run(self, run_id):
+        """Stamp subsequent records with ``run_id``; returns the previous id.
+
+        The harness brackets each logical unit of work (a shard replay, an
+        experiment cell) with ``previous = log.set_run(...)`` /
+        ``log.set_run(previous)`` so records sort globally by
+        ``(run, seq)`` regardless of which process produced them.
+        """
+        previous = self.run_id
+        self.run_id = run_id or DEFAULT_RUN
+        return previous
 
     def log(self, event, **fields):
         """Record one decision; returns the record dict."""
         self._seq += 1
-        record = {"seq": self._seq, "event": event}
+        record = {"seq": self._seq, "run": self.run_id, "event": event}
         record.update(fields)
         self.records.append(record)
         return record
 
     def extend(self, records):
-        """Append records from a worker process, re-sequencing them."""
+        """Append records from a worker process, re-sequencing them.
+
+        The worker's ``run`` stamps are preserved verbatim -- they name
+        the unit of work, not the process -- so the merged log carries
+        the same ``(run, event, fields)`` stream as a serial run, with
+        ``seq`` renumbered into this log's single monotonic sequence.
+        """
         for record in records:
             self._seq += 1
             merged = dict(record, seq=self._seq)
+            merged.setdefault("run", DEFAULT_RUN)
             self.records.append(merged)
 
     def of_event(self, event):

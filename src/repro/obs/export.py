@@ -1,0 +1,726 @@
+"""Telemetry export: Prometheus text, JSON snapshots, dashboard, regret.
+
+:class:`TelemetryExporter` turns the observability session's collected
+state (service reports, metrics snapshots, decision logs) into the
+formats operators actually consume:
+
+* :meth:`~TelemetryExporter.prometheus` -- the Prometheus text
+  exposition format (``# TYPE`` lines, ``_bucket{le=...}`` series from
+  the registry's histogram buckets), scrape-ready;
+* :meth:`~TelemetryExporter.snapshot` -- one JSON document with the
+  service summary, ring-buffered time series, slack/attribution state
+  and the regret report;
+* :func:`render_dashboard` -- a static, dependency-free HTML page with
+  inline SVG sparklines; the full JSON snapshot is embedded in the page
+  (:func:`extract_dashboard_snapshot` recovers it byte-exactly, which is
+  also the round-trip CI check);
+* :class:`TelemetryServer` -- a small threaded HTTP server exposing
+  ``/metrics``, ``/snapshot.json`` and the dashboard at ``/`` from a
+  live exporter.
+
+The **regret report** (:func:`regret_report`) closes part of ROADMAP
+item 4: for every ``pace_*`` decision-log record it reconstructs the
+candidate set the greedy search saw, re-scores it with the measured
+feedback correction factors (the oracle: what the search *would* have
+picked had the cost model already known the measured work), and reports
+the extra-work regret of each accepted move.  Every pace-search record's
+``seq`` appears in ``covered_seqs`` -- full decision coverage is a CI
+assertion.
+
+Nothing here reads wall clocks or randomness: the same inputs render the
+same bytes, so exports from serial and sharded runs stay comparable.
+"""
+
+import json
+import re
+
+from .metrics import cumulative_buckets, metric_key
+
+#: incrementability fields serialize infinity as the string "inf"
+_INF = float("inf")
+
+
+# -- time series -----------------------------------------------------------------
+
+class TimeSeriesRing:
+    """A bounded ``(x, y)`` series; old samples fall off the front."""
+
+    __slots__ = ("capacity", "samples", "dropped")
+
+    def __init__(self, capacity=512):
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1, got %r" % (capacity,))
+        self.capacity = capacity
+        self.samples = []
+        self.dropped = 0
+
+    def append(self, x, y):
+        self.samples.append((x, y))
+        if len(self.samples) > self.capacity:
+            del self.samples[0]
+            self.dropped += 1
+
+    def to_dict(self):
+        return {
+            "samples": [[x, y] for x, y in self.samples],
+            "dropped": self.dropped,
+        }
+
+    def __len__(self):
+        return len(self.samples)
+
+    def __repr__(self):
+        return "TimeSeriesRing(%d/%d samples, %d dropped)" % (
+            len(self.samples), self.capacity, self.dropped
+        )
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name):
+    """``engine.execution.work`` -> ``repro_engine_execution_work``."""
+    return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def _parse_metric_key(key):
+    """Invert :func:`repro.obs.metrics.metric_key` -> ``(name, labels)``."""
+    if key.endswith("}") and "{" in key:
+        name, _, rest = key.partition("{")
+        labels = {}
+        for item in rest[:-1].split(","):
+            label, _, value = item.partition("=")
+            labels[label] = value
+        return name, labels
+    return key, {}
+
+
+def _prom_labels(labels):
+    if not labels:
+        return ""
+    rendered = ",".join(
+        '%s="%s"' % (k, str(labels[k]).replace("\\", "\\\\").replace('"', '\\"'))
+        for k in sorted(labels)
+    )
+    return "{%s}" % rendered
+
+
+def _prom_number(value):
+    if value is None:
+        return "NaN"
+    if value == _INF:
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot, extra_gauges=None):
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    ``extra_gauges`` is an optional ``{key: value}`` of synthetic gauges
+    (service summary numbers) appended under their own families; keys use
+    the registry's ``name{label=value}`` convention.
+    """
+    lines = []
+    typed = set()
+
+    def declare(family, kind):
+        if family not in typed:
+            typed.add(family)
+            lines.append("# TYPE %s %s" % (family, kind))
+
+    for key in sorted(snapshot):
+        payload = snapshot[key]
+        name, labels = _parse_metric_key(key)
+        family = _prom_name(name)
+        kind = payload.get("type")
+        if kind == "counter":
+            declare(family, "counter")
+            lines.append(
+                "%s%s %s" % (family, _prom_labels(labels),
+                             _prom_number(payload.get("value", 0)))
+            )
+        elif kind == "gauge":
+            declare(family, "gauge")
+            lines.append(
+                "%s%s %s" % (family, _prom_labels(labels),
+                             _prom_number(payload.get("value", 0)))
+            )
+            if payload.get("max") is not None:
+                declare(family + "_max", "gauge")
+                lines.append(
+                    "%s%s %s" % (family + "_max", _prom_labels(labels),
+                                 _prom_number(payload["max"]))
+                )
+        elif kind == "histogram":
+            declare(family, "histogram")
+            for bound, running in cumulative_buckets(payload.get("buckets", ())):
+                le = dict(labels)
+                le["le"] = "+Inf" if bound == "+Inf" else _prom_number(bound)
+                lines.append(
+                    "%s_bucket%s %d" % (family, _prom_labels(le), running)
+                )
+            lines.append(
+                "%s_sum%s %s" % (family, _prom_labels(labels),
+                                 _prom_number(payload.get("sum", 0.0)))
+            )
+            lines.append(
+                "%s_count%s %d" % (family, _prom_labels(labels),
+                                   payload.get("count", 0))
+            )
+    for key in sorted(extra_gauges or {}):
+        name, labels = _parse_metric_key(key)
+        family = _prom_name(name)
+        declare(family, "gauge")
+        lines.append(
+            "%s%s %s" % (family, _prom_labels(labels),
+                         _prom_number(extra_gauges[key]))
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- the regret report ------------------------------------------------------------
+
+def _as_score(value):
+    """Decision-log incrementability: the string "inf" means infinite."""
+    if value == "inf":
+        return _INF
+    return float(value)
+
+
+def _group_factor(group, factors):
+    """Mean measured total-work correction factor of a moved pace group."""
+    if not factors or not group:
+        return 1.0
+    picked = []
+    for sid in group:
+        entry = factors.get(sid)
+        if entry is None:
+            entry = factors.get(str(sid))
+        if entry is not None:
+            picked.append(float(entry[0]))
+    if not picked:
+        return 1.0
+    return sum(picked) / len(picked)
+
+
+def regret_report(records, feedback=None, feedback_by_run=None):
+    """Per-decision regret of the greedy pace search vs. the oracle.
+
+    For each accepted ``pace_move`` the candidate set is the move itself
+    plus that iteration's ``pace_reject`` records.  Each candidate's
+    logged ``(incrementability, extra_work)`` score is *corrected* with
+    the measured feedback factors -- a subplan that measured 2x its
+    estimate doubles the real extra work of making it eagerer and halves
+    its real incrementability -- and the oracle is the corrected-score
+    maximizer (the move the search would have made with measured costs).
+    ``regret_work`` is the corrected extra-work gap between the chosen
+    move and the oracle's (0.0 when they agree).
+
+    ``feedback`` is a flat ``{sid: (total_factor, final_factor)}`` map;
+    ``feedback_by_run`` maps a decision-log ``run`` id to such a map (the
+    sharded service exports one per shard).  With neither, factors
+    default to 1.0 and the report degrades to pure decision coverage.
+
+    Every ``pace_*`` record's ``seq`` lands in ``covered_seqs`` exactly
+    once -- descending corrections (``pace_decrease``) and terminal
+    records are carried as zero-regret entries and search summaries.
+    """
+    decisions = []
+    searches = []
+    covered = []
+    pending = {}  # (run, iteration) -> [reject records]
+
+    def factors_for(run):
+        if feedback_by_run is not None:
+            return feedback_by_run.get(run, {})
+        return feedback or {}
+
+    def corrected(inc, extra, group, factors):
+        factor = _group_factor(group, factors)
+        inc = _as_score(inc)
+        return (
+            inc / factor if inc != _INF else _INF,
+            float(extra) * factor,
+            factor,
+        )
+
+    for record in records:
+        event = record.get("event", "")
+        if not event.startswith("pace_"):
+            continue
+        run = record.get("run", "main")
+        seq = record.get("seq")
+        covered.append(seq)
+        if event == "pace_reject":
+            pending.setdefault((run, record["iteration"]), []).append(record)
+        elif event == "pace_move":
+            factors = factors_for(run)
+            rejected = pending.pop((run, record["iteration"]), [])
+            chosen_inc, chosen_extra, factor = corrected(
+                record["incrementability"], record["extra_work"],
+                record.get("group", ()), factors,
+            )
+            candidates = [{
+                "group": list(record.get("group", ())),
+                "estimated_extra_work": float(record["extra_work"]),
+                "corrected_extra_work": chosen_extra,
+                "corrected_incrementability": chosen_inc,
+                "factor": factor,
+                "chosen": True,
+            }]
+            for reject in rejected:
+                inc, extra, rfactor = corrected(
+                    reject["incrementability"], reject["extra_work"],
+                    reject.get("group", ()), factors,
+                )
+                candidates.append({
+                    "group": list(reject.get("group", ())),
+                    "estimated_extra_work": float(reject["extra_work"]),
+                    "corrected_extra_work": extra,
+                    "corrected_incrementability": inc,
+                    "factor": rfactor,
+                    "chosen": False,
+                })
+            # the oracle maximizes (corrected inc, -corrected extra); ties
+            # favor the chosen move so agreement reports zero regret
+            oracle = max(
+                candidates,
+                key=lambda c: (
+                    c["corrected_incrementability"],
+                    -c["corrected_extra_work"],
+                    c["chosen"],
+                ),
+            )
+            switched = not oracle["chosen"]
+            decisions.append({
+                "kind": "move",
+                "run": run,
+                "seq": seq,
+                "iteration": record["iteration"],
+                "chosen_group": candidates[0]["group"],
+                "oracle_group": oracle["group"],
+                "switched": switched,
+                "regret_work": (
+                    candidates[0]["corrected_extra_work"]
+                    - oracle["corrected_extra_work"]
+                    if switched else 0.0
+                ),
+                "candidates": candidates,
+            })
+        elif event == "pace_decrease":
+            decisions.append({
+                "kind": "decrease",
+                "run": run,
+                "seq": seq,
+                "sid": record.get("sid"),
+                "work_saved": record.get("work_saved", 0.0),
+                "switched": False,
+                "regret_work": 0.0,
+            })
+        else:  # pace_search_done / pace_exhausted / pace_decrease_done
+            summary = {"run": run, "seq": seq, "event": event}
+            for field in ("iterations", "met", "total_work", "unmet_queries"):
+                if field in record:
+                    summary[field] = record[field]
+            searches.append(summary)
+    # a reject whose move never landed (search aborted) still counts
+    for (run, iteration), rejects in sorted(pending.items()):
+        for reject in rejects:
+            decisions.append({
+                "kind": "orphan_reject",
+                "run": run,
+                "seq": reject.get("seq"),
+                "iteration": iteration,
+                "switched": False,
+                "regret_work": 0.0,
+            })
+    switched = sum(1 for d in decisions if d["switched"])
+    return {
+        "decisions": decisions,
+        "searches": searches,
+        "covered_seqs": covered,
+        "decision_count": len(decisions),
+        "switched": switched,
+        "total_regret_work": sum(
+            max(0.0, d["regret_work"]) for d in decisions
+        ),
+    }
+
+
+# -- the exporter -----------------------------------------------------------------
+
+class TelemetryExporter:
+    """Collects service reports + obs state; renders every export format."""
+
+    def __init__(self, capacity=512):
+        self.capacity = capacity
+        self.series = {}
+        self.summary = {}
+        self.metrics_snapshot = {}
+        self.slack = {}  # "shard/qid" -> latest slack entry
+        self.attribution = {"conserved": True, "tenants": {}}
+        self.regret = None
+
+    def _ring(self, name, **labels):
+        key = metric_key(name, labels)
+        ring = self.series.get(key)
+        if ring is None:
+            ring = self.series[key] = TimeSeriesRing(self.capacity)
+        return ring
+
+    def ingest_report(self, report):
+        """Absorb a :func:`~repro.harness.service.run_service_schedule` report."""
+        self.summary = report.get("summary", {})
+        for shard_report in report.get("shards", ()):
+            shard = shard_report.get("shard", 0)
+            for window in shard_report.get("windows", ()):
+                self.ingest_window(window, shard=shard)
+        return self
+
+    def ingest_outcome(self, outcome, shard=0):
+        """Absorb one live :class:`~repro.service.core.TriggerOutcome`."""
+        self.ingest_window(outcome.to_dict(), shard=shard)
+        return self
+
+    def ingest_window(self, window, shard=0):
+        w = window["window"]
+        self._ring("service.window.total_work", shard=shard).append(
+            w, window.get("total_work", 0.0)
+        )
+        for qid, entry in sorted((window.get("slack") or {}).items()):
+            self._ring(
+                "service.query.headroom_work", query=qid, shard=shard
+            ).append(w, entry["headroom_work"])
+            self.slack["%s/%s" % (shard, qid)] = dict(entry, window=w)
+        attribution = window.get("attribution") or {}
+        if not attribution.get("conserved", True):
+            self.attribution["conserved"] = False
+        for tenant, bucket in sorted((window.get("tenants") or {}).items()):
+            work = bucket.get("work", 0.0)
+            self._ring(
+                "service.tenant.attributed_work", shard=shard, tenant=tenant
+            ).append(w, work)
+            totals = self.attribution["tenants"]
+            totals[tenant] = totals.get(tenant, 0.0) + work
+        return self
+
+    def ingest_metrics(self, snapshot):
+        self.metrics_snapshot = dict(snapshot)
+        return self
+
+    def ingest_declog(self, records, feedback=None, feedback_by_run=None):
+        self.regret = regret_report(
+            records, feedback=feedback, feedback_by_run=feedback_by_run
+        )
+        return self
+
+    def snapshot(self):
+        """One JSON-safe document with everything the exporter holds."""
+        return {
+            "summary": self.summary,
+            "series": {
+                key: self.series[key].to_dict() for key in sorted(self.series)
+            },
+            "metrics": self.metrics_snapshot,
+            "slack": {key: self.slack[key] for key in sorted(self.slack)},
+            "attribution": {
+                "conserved": self.attribution["conserved"],
+                "tenants": {
+                    t: self.attribution["tenants"][t]
+                    for t in sorted(self.attribution["tenants"])
+                },
+            },
+            "regret": self.regret,
+        }
+
+    def prometheus(self):
+        """Prometheus text: registry metrics + service summary gauges."""
+        extra = {}
+        summary = self.summary
+        for field in ("total_work", "query_windows", "slo_misses",
+                      "slo_miss_rate", "work_per_query_window"):
+            if field in summary:
+                extra["service.summary.%s" % field] = summary[field]
+        for key, entry in self.slack.items():
+            shard, _, qid = key.partition("/")
+            extra[metric_key(
+                "service.query.headroom_work", {"query": qid, "shard": shard}
+            )] = entry["headroom_work"]
+        for tenant, work in self.attribution["tenants"].items():
+            extra[metric_key(
+                "service.tenant.attributed_work", {"tenant": tenant}
+            )] = work
+        extra["service.attribution.conserved"] = (
+            1 if self.attribution["conserved"] else 0
+        )
+        if self.regret is not None:
+            extra["service.regret.total_work"] = self.regret["total_regret_work"]
+            extra["service.regret.switched"] = self.regret["switched"]
+            extra["service.regret.decisions"] = self.regret["decision_count"]
+        return render_prometheus(self.metrics_snapshot, extra_gauges=extra)
+
+    def __repr__(self):
+        return "TelemetryExporter(%d series, %d slack entries)" % (
+            len(self.series), len(self.slack)
+        )
+
+
+# -- the static dashboard ---------------------------------------------------------
+
+_SNAPSHOT_OPEN = '<script id="telemetry-snapshot" type="application/json">'
+_SNAPSHOT_CLOSE = "</script>"
+
+
+def _sparkline(samples, width=280, height=48):
+    """Inline SVG polyline of ``[[x, y], ...]`` samples."""
+    if not samples:
+        return "<svg class='spark' width='%d' height='%d'></svg>" % (
+            width, height
+        )
+    ys = [y for _, y in samples]
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    n = len(samples)
+    points = []
+    for index, (_, y) in enumerate(samples):
+        px = 4 + (width - 8) * (index / max(1, n - 1))
+        py = 4 + (height - 8) * (1.0 - (y - lo) / span)
+        points.append("%.1f,%.1f" % (px, py))
+    return (
+        "<svg class='spark' width='%d' height='%d'>"
+        "<polyline fill='none' stroke='#2b6cb0' stroke-width='1.5' "
+        "points='%s'/></svg>" % (width, height, " ".join(points))
+    )
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def render_dashboard(snapshot, title="repro service telemetry"):
+    """A static, self-contained HTML dashboard for one telemetry snapshot.
+
+    The snapshot JSON is embedded verbatim (modulo ``</``-escaping) in a
+    ``<script type="application/json">`` block, so the page doubles as
+    its own data file: :func:`extract_dashboard_snapshot` recovers the
+    exact dict that rendered it.
+    """
+    summary = snapshot.get("summary") or {}
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>%s</title>" % title,
+        "<style>",
+        "body{font:14px/1.4 system-ui,sans-serif;margin:24px;color:#1a202c}",
+        "h1{font-size:20px} h2{font-size:16px;margin-top:28px}",
+        ".cards{display:flex;flex-wrap:wrap;gap:12px}",
+        ".card{border:1px solid #cbd5e0;border-radius:6px;padding:10px 14px}",
+        ".card .v{font-size:20px;font-weight:600}",
+        ".card .k{color:#4a5568;font-size:12px}",
+        "table{border-collapse:collapse;margin-top:8px}",
+        "td,th{border:1px solid #cbd5e0;padding:4px 8px;text-align:right}",
+        "th{background:#edf2f7} td.l,th.l{text-align:left}",
+        ".miss{color:#c53030;font-weight:600} .ok{color:#2f855a}",
+        ".spark{border:1px solid #e2e8f0;border-radius:4px}",
+        "</style></head><body>",
+        "<h1>%s</h1>" % title,
+    ]
+    cards = [
+        ("query-windows", summary.get("query_windows")),
+        ("SLO misses", summary.get("slo_misses")),
+        ("SLO miss rate", summary.get("slo_miss_rate")),
+        ("total work", summary.get("total_work")),
+        ("work / query-window", summary.get("work_per_query_window")),
+    ]
+    parts.append("<div class='cards'>")
+    for label, value in cards:
+        parts.append(
+            "<div class='card'><div class='v'>%s</div>"
+            "<div class='k'>%s</div></div>" % (_fmt(value), label)
+        )
+    conserved = (snapshot.get("attribution") or {}).get("conserved", True)
+    parts.append(
+        "<div class='card'><div class='v %s'>%s</div>"
+        "<div class='k'>attribution conserved</div></div>"
+        % ("ok" if conserved else "miss", _fmt(conserved))
+    )
+    parts.append("</div>")
+
+    series = snapshot.get("series") or {}
+    if series:
+        parts.append("<h2>Time series</h2><table>")
+        parts.append(
+            "<tr><th class='l'>series</th><th>samples</th>"
+            "<th>last</th><th class='l'>trend</th></tr>"
+        )
+        for key in sorted(series):
+            samples = series[key].get("samples", [])
+            last = samples[-1][1] if samples else None
+            parts.append(
+                "<tr><td class='l'>%s</td><td>%d</td><td>%s</td>"
+                "<td class='l'>%s</td></tr>"
+                % (key, len(samples), _fmt(last), _sparkline(samples))
+            )
+        parts.append("</table>")
+
+    slack = snapshot.get("slack") or {}
+    if slack:
+        parts.append("<h2>Slack ledger (latest window per query)</h2><table>")
+        parts.append(
+            "<tr><th class='l'>shard/query</th><th>goal work</th>"
+            "<th>final work</th><th>headroom</th><th>slack avail</th>"
+            "<th>deferred</th><th>util</th><th>windows to miss</th></tr>"
+        )
+        for key in sorted(slack):
+            entry = slack[key]
+            missed = entry.get("missed")
+            parts.append(
+                "<tr><td class='l%s'>%s</td><td>%s</td><td>%s</td>"
+                "<td class='%s'>%s</td><td>%s</td><td>%s</td><td>%s</td>"
+                "<td>%s</td></tr>"
+                % (
+                    " miss" if missed else "", key,
+                    _fmt(entry.get("goal_work")),
+                    _fmt(entry.get("final_work")),
+                    "miss" if missed else "ok",
+                    _fmt(entry.get("headroom_work")),
+                    _fmt(entry.get("slack_available_work")),
+                    _fmt(entry.get("deferred_work")),
+                    _fmt(entry.get("slack_utilization")),
+                    _fmt(entry.get("projected_windows_to_miss")),
+                )
+            )
+        parts.append("</table>")
+
+    tenants = (snapshot.get("attribution") or {}).get("tenants") or {}
+    if tenants:
+        parts.append("<h2>Attributed work by tenant</h2><table>")
+        parts.append("<tr><th class='l'>tenant</th><th>attributed work</th></tr>")
+        for tenant in sorted(tenants):
+            parts.append(
+                "<tr><td class='l'>%s</td><td>%s</td></tr>"
+                % (tenant, _fmt(tenants[tenant]))
+            )
+        parts.append("</table>")
+
+    regret = snapshot.get("regret")
+    if regret:
+        parts.append("<h2>Pace-search regret</h2>")
+        parts.append(
+            "<p>%d decisions, %d where the measured-cost oracle disagrees, "
+            "total regret %s work units.</p>"
+            % (regret.get("decision_count", 0), regret.get("switched", 0),
+               _fmt(regret.get("total_regret_work")))
+        )
+        switched = [
+            d for d in regret.get("decisions", ()) if d.get("switched")
+        ]
+        if switched:
+            parts.append("<table><tr><th class='l'>run</th><th>seq</th>"
+                         "<th class='l'>chosen group</th>"
+                         "<th class='l'>oracle group</th>"
+                         "<th>regret work</th></tr>")
+            for d in switched:
+                parts.append(
+                    "<tr><td class='l'>%s</td><td>%s</td><td class='l'>%s</td>"
+                    "<td class='l'>%s</td><td>%s</td></tr>"
+                    % (d.get("run"), d.get("seq"), d.get("chosen_group"),
+                       d.get("oracle_group"), _fmt(d.get("regret_work")))
+                )
+            parts.append("</table>")
+
+    payload = json.dumps(snapshot, sort_keys=True).replace("</", "<\\/")
+    parts.append(_SNAPSHOT_OPEN + payload + _SNAPSHOT_CLOSE)
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def extract_dashboard_snapshot(html):
+    """Recover the exact snapshot dict embedded by :func:`render_dashboard`."""
+    start = html.index(_SNAPSHOT_OPEN) + len(_SNAPSHOT_OPEN)
+    end = html.index(_SNAPSHOT_CLOSE, start)
+    return json.loads(html[start:end].replace("<\\/", "</"))
+
+
+# -- the live endpoint ------------------------------------------------------------
+
+class TelemetryServer:
+    """Threaded HTTP server over one exporter: /metrics, /snapshot.json, /.
+
+    ``port=0`` binds an ephemeral port; :attr:`url` reports the bound
+    address after :meth:`start`.  The server runs on a daemon thread and
+    :meth:`stop` shuts it down cleanly (joinable, idempotent).
+    """
+
+    def __init__(self, exporter, host="127.0.0.1", port=0):
+        self.exporter = exporter
+        self.host = host
+        self.port = port
+        self._server = None
+        self._thread = None
+
+    def start(self):
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        exporter = self.exporter
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                if self.path == "/metrics":
+                    body = exporter.prometheus().encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path == "/snapshot.json":
+                    body = (
+                        json.dumps(exporter.snapshot(), sort_keys=True) + "\n"
+                    ).encode("utf-8")
+                    ctype = "application/json"
+                elif self.path in ("/", "/dashboard", "/index.html"):
+                    body = render_dashboard(exporter.snapshot()).encode("utf-8")
+                    ctype = "text/html; charset=utf-8"
+                else:
+                    self.send_error(404, "unknown telemetry path")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # quiet: telemetry, not access logs
+                pass
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def url(self):
+        return "http://%s:%d" % (self.host, self.port)
+
+    def stop(self):
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()

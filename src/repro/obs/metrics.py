@@ -6,11 +6,19 @@ one line.  :meth:`MetricsRegistry.snapshot` renders the whole registry as
 a JSON-safe dict keyed by ``name{label=value,...}``;
 :meth:`MetricsRegistry.merge_snapshot` folds a worker process's snapshot
 into the driver registry (counters add, gauges keep the latest value and
-the running max, histograms merge their moments).
+the running max, histograms merge their moments and bucket counts).
+
+Histograms bucket observations over log-spaced boundaries reaching down
+to a microsecond (``1-2-5`` per decade, 1e-6 .. 1e6), so sub-millisecond
+service windows land in distinct buckets instead of collapsing into one:
+tail latency stays visible at trigger-window speeds.  The same
+boundaries serve work-unit histograms (values in the 1..1e6 range).
 
 The registry itself never checks the observability flag -- call sites
 guard with ``if OBS.enabled:`` so the disabled path stays a single test.
 """
+
+from bisect import bisect_left
 
 
 class Counter:
@@ -57,17 +65,35 @@ class Gauge:
             self.max = other_max
 
 
-class Histogram:
-    """Count / sum / min / max of observed values (no buckets needed yet)."""
+#: log-spaced upper bounds, 1-2-5 per decade from 1 microsecond to 1e6:
+#: fine enough that sub-millisecond trigger windows spread across buckets
+#: (they used to collapse into one), coarse enough for work-unit counts.
+DEFAULT_BUCKETS = tuple(
+    mantissa * 10.0 ** exponent
+    for exponent in range(-6, 7)
+    for mantissa in (1.0, 2.0, 5.0)
+)
 
-    __slots__ = ("count", "total", "min", "max")
+
+class Histogram:
+    """Count / sum / min / max plus log-spaced bucket counts.
+
+    Buckets follow the Prometheus convention: ``counts[i]`` holds the
+    observations with ``value <= bounds[i]``; the final slot is the
+    ``+Inf`` overflow.  Counts here are *per-bucket* (non-cumulative);
+    :func:`cumulative_buckets` derives the Prometheus ``le`` form.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "bounds", "bucket_counts")
     kind = "histogram"
 
-    def __init__(self):
+    def __init__(self, bounds=DEFAULT_BUCKETS):
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
 
     def observe(self, value):
         self.count += 1
@@ -76,15 +102,28 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self):
         return (self.total / self.count) if self.count else 0.0
 
+    def buckets(self):
+        """Non-empty buckets as ``[[upper_bound_or_"+Inf", count], ...]``."""
+        out = []
+        for index, count in enumerate(self.bucket_counts):
+            if count:
+                bound = (
+                    self.bounds[index] if index < len(self.bounds) else "+Inf"
+                )
+                out.append([bound, count])
+        return out
+
     def to_dict(self):
         return {
             "type": "histogram", "count": self.count, "sum": self.total,
             "min": self.min, "max": self.max, "mean": self.mean,
+            "buckets": self.buckets(),
         }
 
     def merge(self, payload):
@@ -96,6 +135,29 @@ class Histogram:
                 continue
             mine = getattr(self, name)
             setattr(self, name, other if mine is None else better(mine, other))
+        # bucket merge: match on upper bound; a payload from an older
+        # bucketless histogram simply contributes no bucket counts
+        for bound, count in payload.get("buckets", ()):
+            if bound == "+Inf":
+                self.bucket_counts[-1] += count
+            else:  # same boundary grid in practice; a foreign bound still
+                # lands in the covering bucket, conserving total mass
+                self.bucket_counts[bisect_left(self.bounds, bound)] += count
+
+
+def cumulative_buckets(bucket_pairs):
+    """Prometheus ``le`` series from :meth:`Histogram.buckets` pairs.
+
+    Returns ``[(le, cumulative_count), ...]`` ending with ``("+Inf", n)``.
+    """
+    out = []
+    running = 0
+    for bound, count in bucket_pairs:
+        running += count
+        out.append((bound, running))
+    if not out or out[-1][0] != "+Inf":
+        out.append(("+Inf", running))
+    return out
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

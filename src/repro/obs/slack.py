@@ -1,0 +1,167 @@
+"""The slack ledger: deadline headroom as a first-class measurement.
+
+The paper's premise is that latency goals create *time slackness* the
+executor can spend on work sharing -- yet SLO misses are usually the only
+number reported, after the fact.  This ledger records, per trigger window
+and per query, where the slack went:
+
+``goal_work``
+    the absolute final-work bound (relative goal x calibrated solo
+    batch cost) the pace search promised to stay under;
+``final_work``
+    the measured final work (the paper's latency proxy) this window;
+``headroom_work``
+    ``goal_work - final_work``: positive means the deadline was met with
+    room to spare, negative is an SLO miss by that much work;
+``slack_available_work``
+    ``goal_work - eager_final_work``: the slack the goal grants over the
+    *eagerest* execution (estimated final work at uniform maximum pace).
+    This is the budget the optimizer is allowed to spend on deferral;
+``deferred_work``
+    ``final_work - eager_final_work`` (clamped at zero): the
+    pace-induced deferral actually incurred -- how much of the available
+    slack the chosen (lazier) pace configuration consumed;
+``slack_utilization``
+    ``deferred_work / slack_available_work`` when slack is available:
+    1.0 means the optimizer spent the whole budget.
+
+Headroom is also tracked over a bounded history ring per query, and a
+least-squares drift slope over that ring yields
+``projected_windows_to_miss``: if headroom keeps eroding at the fitted
+rate, how many more windows until it crosses zero.  ``None`` means no
+miss is projected (headroom steady or recovering); ``0`` means the query
+is already missing.
+
+Everything here is plain deterministic arithmetic on measured values --
+the ledger adds no randomness and no wall-clock reads, so serial and
+sharded service runs produce bit-identical slack reports.
+"""
+
+
+#: default per-query history ring length for drift fitting
+DEFAULT_HISTORY = 32
+
+#: slopes flatter than this (work units per window) count as "no drift"
+DRIFT_EPSILON = 1e-9
+
+
+def drift_slope(points):
+    """Least-squares slope of ``(x, y)`` points; 0.0 with fewer than two."""
+    n = len(points)
+    if n < 2:
+        return 0.0
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    var = sum((x - mean_x) ** 2 for x, _ in points)
+    if var == 0:
+        return 0.0
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    return cov / var
+
+
+def project_windows_to_miss(headroom, slope):
+    """Windows until headroom crosses zero at the fitted drift ``slope``.
+
+    Returns ``0.0`` when already negative, ``None`` when no miss is
+    projected (non-negative or negligible slope).
+    """
+    if headroom <= 0:
+        return 0.0
+    if slope >= -DRIFT_EPSILON:
+        return None
+    return headroom / (-slope)
+
+
+class SlackLedger:
+    """Per-window, per-query slack accounting with drift projection."""
+
+    def __init__(self, history=DEFAULT_HISTORY):
+        if history < 2:
+            raise ValueError("slack history must be >= 2, got %r" % (history,))
+        self.history = history
+        #: ``qid -> [(window, headroom_work), ...]`` bounded ring
+        self._headroom = {}
+        #: ``[(window, summary_dict), ...]`` in record order
+        self.windows = []
+
+    def record_window(self, window, entries, seconds=None):
+        """Record one trigger window; returns ``{qid: entry_dict}``.
+
+        ``entries`` maps ``qid`` to a dict with ``goal_work``,
+        ``final_work`` and optionally ``eager_final_work`` (the
+        cost-model estimate of the query's final work at uniform maximum
+        pace; omit when unknown).  ``seconds`` is an optional
+        work->seconds converter (``StreamConfig.seconds``) used to also
+        report headroom in time units.
+        """
+        recorded = {}
+        for qid in sorted(entries):
+            spec = entries[qid]
+            goal = float(spec["goal_work"])
+            final = float(spec["final_work"])
+            eager = spec.get("eager_final_work")
+            headroom = goal - final
+            ring = self._headroom.setdefault(qid, [])
+            ring.append((window, headroom))
+            if len(ring) > self.history:
+                del ring[0]
+            slope = drift_slope(ring)
+            entry = {
+                "goal_work": goal,
+                "final_work": final,
+                "headroom_work": headroom,
+                "missed": final > goal,
+                "drift_work_per_window": slope,
+                "projected_windows_to_miss": project_windows_to_miss(
+                    headroom, slope
+                ),
+            }
+            if eager is not None:
+                eager = float(eager)
+                available = goal - eager
+                deferred = max(0.0, final - eager)
+                entry["eager_final_work"] = eager
+                entry["slack_available_work"] = available
+                entry["deferred_work"] = deferred
+                entry["slack_utilization"] = (
+                    deferred / available if available > 0 else None
+                )
+            if seconds is not None:
+                entry["goal_seconds"] = seconds(goal)
+                entry["headroom_seconds"] = seconds(goal) - seconds(final)
+            recorded[qid] = entry
+        self.windows.append((window, self.summarize(recorded)))
+        return recorded
+
+    @staticmethod
+    def summarize(recorded):
+        """Window roll-up: worst headroom, misses, projected misses."""
+        if not recorded:
+            return {
+                "queries": 0, "min_headroom_work": None, "missed": 0,
+                "projected_misses": 0,
+            }
+        headrooms = [e["headroom_work"] for e in recorded.values()]
+        return {
+            "queries": len(recorded),
+            "min_headroom_work": min(headrooms),
+            "missed": sum(1 for e in recorded.values() if e["missed"]),
+            "projected_misses": sum(
+                1
+                for e in recorded.values()
+                if e["projected_windows_to_miss"] is not None
+            ),
+        }
+
+    def latest(self, qid):
+        """The most recent ``(window, headroom_work)`` of one query."""
+        ring = self._headroom.get(qid)
+        return ring[-1] if ring else None
+
+    def __len__(self):
+        return len(self.windows)
+
+    def __repr__(self):
+        return "SlackLedger(%d windows, %d queries tracked)" % (
+            len(self.windows), len(self._headroom)
+        )

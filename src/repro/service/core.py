@@ -31,6 +31,8 @@ from ..engine.metrics import missed_latency
 from ..errors import OptimizationError, ServiceError
 from ..logical.ops import Query
 from ..obs import OBS
+from ..obs.attribution import AttributionLedger
+from ..obs.slack import SlackLedger
 
 
 class Registration:
@@ -84,10 +86,10 @@ class TriggerOutcome:
     """What one trigger window produced, JSON-navigable via :meth:`to_dict`."""
 
     __slots__ = ("window", "total_work", "queries", "tenants", "reoptimized",
-                 "run")
+                 "run", "slack", "attribution", "conserved")
 
     def __init__(self, window, total_work, queries, tenants, reoptimized,
-                 run=None):
+                 run=None, slack=None, attribution=None, conserved=True):
         self.window = window
         self.total_work = total_work
         #: {qid: {tenant, name, latency/goal seconds, missed}}
@@ -96,6 +98,11 @@ class TriggerOutcome:
         self.tenants = tenants
         self.reoptimized = reoptimized
         self.run = run  # the raw RunResult (not serialized)
+        #: {qid: slack-ledger entry} (headroom, deferral, drift projection)
+        self.slack = slack or {}
+        #: {qid: attributed work} -- solo-cost-proportional, conservation-exact
+        self.attribution = attribution or {}
+        self.conserved = conserved
 
     def to_dict(self):
         return {
@@ -104,6 +111,17 @@ class TriggerOutcome:
             "reoptimized": self.reoptimized,
             "queries": {str(qid): dict(q) for qid, q in sorted(self.queries.items())},
             "tenants": {t: dict(v) for t, v in sorted(self.tenants.items())},
+            "slack": {
+                str(qid): dict(entry)
+                for qid, entry in sorted(self.slack.items())
+            },
+            "attribution": {
+                "conserved": self.conserved,
+                "queries": {
+                    str(qid): work
+                    for qid, work in sorted(self.attribution.items())
+                },
+            },
         }
 
     def __repr__(self):
@@ -165,6 +183,15 @@ class QueryService:
         self._basis = None
         self._last_merge = None
         self._goals = {}
+        #: absolute final-work bounds keyed by dense slot, refreshed by
+        #: every re-optimization (the slack ledger's goal_work)
+        self._constraints = {}
+        #: estimated per-slot final work at uniform max pace -- the
+        #: eagerest plan the optimizer could have run; headroom over it
+        #: is the slack budget the chosen paces were allowed to spend
+        self._eager_final = {}
+        self.slack = SlackLedger()
+        self.attribution = AttributionLedger()
 
     # -- registration lifecycle ---------------------------------------------
 
@@ -263,6 +290,8 @@ class QueryService:
             self._initial_paces = {}
             self._last_merge = None
             self._goals = {}
+            self._constraints = {}
+            self._eager_final = {}
         self._retry_pending()
         return registration
 
@@ -386,6 +415,14 @@ class QueryService:
         )
         self.paces = paces
         self._goals = goals
+        self._constraints = constraints
+        # the eagerest configuration's estimated final work: the slack
+        # baseline.  Admission already evaluated uniform max pace on this
+        # model, so the memo makes this re-evaluation nearly free.
+        eager = self.model.evaluate(
+            uniform_configuration(self.plan, self.config.max_pace)
+        )
+        self._eager_final = dict(eager.query_final_work)
         merge = self._last_merge
         if OBS.enabled:
             OBS.declog.log(
@@ -426,11 +463,17 @@ class QueryService:
 
         queries = {}
         tenants = {}
-        work_share = self._attribute_work(run)
+        work_share = self._attribute_work(window, run)
+        slack_entries = {}
+        attribution = {}
+        seconds = self.config.stream_config.seconds
         for qid, registration in self.registrations.items():
-            latency = run.query_latency_seconds(self.slots[qid])
+            slot = self.slots[qid]
+            latency = run.query_latency_seconds(slot)
             goal = self._goals[qid]
             missed_abs, missed_rel = missed_latency(latency, goal)
+            attributed = work_share.get(slot, 0.0)
+            attribution[qid] = attributed
             queries[qid] = {
                 "tenant": registration.tenant,
                 "name": registration.name,
@@ -438,15 +481,22 @@ class QueryService:
                 "goal_seconds": goal,
                 "missed_seconds": missed_abs,
                 "missed_relative": missed_rel,
+                "attributed_work": attributed,
+            }
+            slack_entries[qid] = {
+                "goal_work": self._constraints.get(slot, 0.0),
+                "final_work": run.query_final_work.get(slot, 0.0),
+                "eager_final_work": self._eager_final.get(slot),
             }
             bucket = tenants.setdefault(
                 registration.tenant,
                 {"work": 0.0, "queries": 0, "slo_misses": 0},
             )
-            bucket["work"] += work_share.get(self.slots[qid], 0.0)
+            bucket["work"] += attributed
             bucket["queries"] += 1
             if missed_abs > 0:
                 bucket["slo_misses"] += 1
+        slack = self.slack.record_window(window, slack_entries, seconds=seconds)
         if self.use_feedback:
             self.model.apply_feedback(run, self.paces)
         if OBS.enabled:
@@ -455,6 +505,17 @@ class QueryService:
                 total_work=round(run.total_work, 4),
                 queries=len(queries), reoptimized=reoptimized,
             )
+            roll_up = self.slack.windows[-1][1]
+            OBS.declog.log(
+                "service_slack", window=window,
+                min_headroom_work=roll_up["min_headroom_work"],
+                missed=roll_up["missed"],
+                projected_misses=roll_up["projected_misses"],
+            )
+            for qid in sorted(slack):
+                OBS.metrics.histogram(
+                    "service.slack.headroom_seconds"
+                ).observe(slack[qid]["headroom_seconds"])
             for tenant, bucket in sorted(tenants.items()):
                 OBS.metrics.counter(
                     "service.tenant.work", tenant=tenant
@@ -465,24 +526,40 @@ class QueryService:
         self.window += 1
         return TriggerOutcome(
             window, run.total_work, queries, tenants,
-            reoptimized=reoptimized, run=run,
+            reoptimized=reoptimized, run=run, slack=slack,
+            attribution=attribution,
+            conserved=not self.attribution.check_conservation(),
         )
 
-    def _attribute_work(self, run):
-        """Deterministic per-query share of the measured total work.
+    def _attribute_work(self, window, run):
+        """Per-slot share of the measured work, conservation-exact.
 
-        Each subplan's measured work is split evenly among the queries it
-        serves -- the paper's shared subplans have no finer-grained
-        attribution -- and summed per query.  This is the basis of the
-        per-tenant fairness accounting.
+        Each subplan's measured WorkMeter total is split across its
+        beneficiary queries proportionally to their *calibrated solo
+        cost* of that subplan (:meth:`PlanCostModel.solo_batch`'s
+        per-subplan work) -- a heavy query sharing an operator with a
+        light one pays most of the bill, as it would running alone.  The
+        arithmetic runs in exact rationals
+        (:mod:`repro.obs.attribution`): per window, the attributed
+        shares sum *exactly* to the measured per-subplan totals.  This
+        is the basis of the per-tenant fairness accounting.
         """
-        shares = {}
-        for subplan in self.plan.subplans:
-            work = run.subplan_total_work.get(subplan.sid, 0.0)
-            qids = subplan.query_ids()
-            if not qids:
-                continue
-            share = work / len(qids)
-            for qid in qids:
-                shares[qid] = shares.get(qid, 0.0) + share
-        return shares
+        solo_costs = {
+            slot: self.model.solo_batch(slot)[1]
+            for slot in self.slots.values()
+        }
+        tenant_of_slot = {
+            self.slots[qid]: registration.tenant
+            for qid, registration in self.registrations.items()
+        }
+        beneficiaries = {
+            subplan.sid: subplan.query_ids() for subplan in self.plan.subplans
+        }
+        shares = self.attribution.record_window(
+            window,
+            run.subplan_total_work,
+            lambda sid: beneficiaries.get(sid, ()),
+            lambda sid, slot: solo_costs.get(slot, {}).get(sid, 0.0),
+            tenant_of=tenant_of_slot.get,
+        )
+        return {slot: float(share) for slot, share in shares.items()}

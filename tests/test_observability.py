@@ -175,6 +175,52 @@ class TestMetrics:
         with pytest.raises(TypeError):
             registry.gauge("x")
 
+    def test_sub_millisecond_observations_land_in_distinct_buckets(self):
+        """Regression: the old single-bucket scheme collapsed everything
+        below a millisecond; the log-spaced grid reaches 1e-6."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("window.seconds")
+        hist.observe(5e-4)
+        hist.observe(2e-3)
+        buckets = dict((bound, count) for bound, count in hist.buckets())
+        assert buckets == {5e-4: 1, 2e-3: 1}
+
+    def test_bucket_bounds_are_le_inclusive_with_overflow(self):
+        from repro.obs.metrics import DEFAULT_BUCKETS
+
+        hist = MetricsRegistry().histogram("work")
+        hist.observe(DEFAULT_BUCKETS[0])  # exactly on a boundary: <= bound
+        hist.observe(DEFAULT_BUCKETS[-1] * 10)  # beyond every bound
+        assert hist.buckets() == [[DEFAULT_BUCKETS[0], 1], ["+Inf", 1]]
+
+    def test_cumulative_buckets_end_with_inf(self):
+        from repro.obs.metrics import cumulative_buckets
+
+        assert cumulative_buckets([[1.0, 2], [5.0, 1]]) == [
+            (1.0, 2), (5.0, 3), ("+Inf", 3)
+        ]
+        assert cumulative_buckets([]) == [("+Inf", 0)]
+
+    def test_histogram_merge_folds_bucket_counts(self):
+        ours, theirs = MetricsRegistry(), MetricsRegistry()
+        ours.histogram("work").observe(1.5)
+        theirs.histogram("work").observe(1.5)
+        theirs.histogram("work").observe(1e9)  # +Inf overflow travels too
+        ours.merge_snapshot(theirs.snapshot())
+        assert ours.histogram("work").buckets() == [[2.0, 2], ["+Inf", 1]]
+
+    def test_merge_tolerates_bucketless_payloads(self):
+        """Snapshots from before histograms grew buckets still merge."""
+        registry = MetricsRegistry()
+        registry.histogram("work").observe(1.0)
+        registry.merge_snapshot(
+            {"work": {"type": "histogram", "count": 2, "sum": 6.0,
+                      "min": 2.0, "max": 4.0}}
+        )
+        hist = registry.histogram("work")
+        assert hist.count == 3 and hist.total == 7.0
+        assert sum(count for _, count in hist.buckets()) == 1
+
     def test_merge_snapshot_adds_counters_and_merges_histograms(self):
         ours = MetricsRegistry()
         ours.counter("hits").inc(2)

@@ -49,6 +49,26 @@ class TestRecurringSimulation:
         day2 = sorted(outcomes[2].pace_config.values())
         assert len(day1) == len(day2)
 
+    def test_day_outcomes_carry_slack_entries(self, simulation):
+        outcomes = simulation.run(2, {qid: 0.5 for qid in range(len(NAMES))})
+        for outcome in outcomes:
+            assert set(outcome.slack) == set(range(len(NAMES)))
+            for entry in outcome.slack.values():
+                assert entry["headroom_work"] == pytest.approx(
+                    entry["goal_work"] - entry["final_work"]
+                )
+                # the eager (uniform max pace) estimate always exists here
+                assert "deferred_work" in entry
+                assert entry["missed"] == (
+                    entry["final_work"] > entry["goal_work"]
+                )
+        # day 1's ledger has two points per query: drift is fitted
+        drifts = [
+            entry["drift_work_per_window"]
+            for entry in outcomes[1].slack.values()
+        ]
+        assert len(drifts) == len(NAMES)
+
     def test_rejects_non_positive_days(self, simulation):
         for days in (0, -3, 1.5, True, "2"):
             with pytest.raises(OptimizationError, match="positive whole number"):

@@ -267,6 +267,86 @@ SMALL_SCHEDULE = {
 }
 
 
+class TestSlackAndAttribution:
+    def _run_outcome(self):
+        service = toy_service()
+        catalog = service.basis_catalog
+        service.register(toy_query_total(catalog, 0), "alpha", 50.0)
+        service.register(toy_query_region(catalog, 1), "beta", 50.0)
+        return service, service.run_window()
+
+    def test_outcome_carries_slack_entries(self):
+        service, outcome = self._run_outcome()
+        assert set(outcome.slack) == {0, 1}
+        for entry in outcome.slack.values():
+            assert entry["goal_work"] > 0
+            assert entry["headroom_work"] == pytest.approx(
+                entry["goal_work"] - entry["final_work"]
+            )
+            # admission already evaluated the eagerest plan; the deferral
+            # breakdown must therefore always be present in service mode
+            assert "slack_available_work" in entry
+            assert entry["deferred_work"] >= 0.0
+            assert "goal_seconds" in entry
+
+    def test_attribution_is_conservation_exact(self):
+        from fractions import Fraction
+
+        service, outcome = self._run_outcome()
+        assert outcome.conserved is True
+        assert set(outcome.attribution) == {0, 1}
+        for qid, entry in outcome.queries.items():
+            assert entry["attributed_work"] == pytest.approx(
+                outcome.attribution[qid]
+            )
+        # the exact rational shares sum to the exact sum of the measured
+        # per-subplan totals -- equality, not a tolerance
+        _, shares = service.attribution.windows[-1]
+        served = {
+            subplan.sid
+            for subplan in service.plan.subplans
+            if subplan.query_ids()
+        }
+        measured = sum(
+            (Fraction(work)
+             for sid, work in outcome.run.subplan_total_work.items()
+             if sid in served),
+            Fraction(0),
+        )
+        assert sum(shares.values(), Fraction(0)) == measured
+
+    def test_tenant_buckets_hold_attributed_work(self):
+        service, outcome = self._run_outcome()
+        assert outcome.tenants["alpha"]["work"] == pytest.approx(
+            outcome.attribution[0]
+        )
+        assert sum(b["work"] for b in outcome.tenants.values()) == \
+            pytest.approx(sum(outcome.attribution.values()))
+
+    def test_drift_builds_up_across_windows(self):
+        service, _ = self._run_outcome()
+        second = service.run_window()
+        for entry in second.slack.values():
+            assert "drift_work_per_window" in entry
+        # the service ledger saw both windows
+        assert len(service.slack) == 2
+
+    def test_service_slack_declog_record(self):
+        obs.enable(process_name="test-service")
+        try:
+            _, outcome = self._run_outcome()
+            [record] = OBS.declog.of_event("service_slack")
+            assert record["min_headroom_work"] == pytest.approx(
+                min(e["headroom_work"] for e in outcome.slack.values())
+            )
+            assert record["missed"] == sum(
+                1 for e in outcome.slack.values() if e["missed"]
+            )
+            assert "projected_misses" in record
+        finally:
+            obs.disable()
+
+
 class TestShardedHarness:
     def test_shard_of_is_stable(self):
         assert shard_of("alpha", 2) == shard_of("alpha", 2)
@@ -292,4 +372,82 @@ class TestShardedHarness:
                 w["total_work"] for shard in report["shards"]
                 for w in shard["windows"]
             )
+        )
+
+    def test_summary_slack_and_conservation(self):
+        report = run_service_schedule(SMALL_SCHEDULE, jobs=1)
+        summary = report["summary"]
+        assert summary["attribution_conserved"] is True
+        slack = summary["slack"]
+        assert slack["min_headroom_work"] is not None
+        assert slack["deferred_work"] >= 0.0
+        for shard in report["shards"]:
+            assert shard["feedback"], "shards must export feedback factors"
+            for window in shard["windows"]:
+                assert set(window["slack"]) == set(window["queries"])
+                assert window["attribution"]["conserved"] is True
+
+
+CHURN_SCHEDULE = dict(
+    SMALL_SCHEDULE,
+    windows=3,
+    events=SMALL_SCHEDULE["events"] + [
+        {"at": 130.0, "op": "deregister", "query_id": 0},
+    ],
+)
+
+
+class TestObsBitIdentity:
+    """Satellite: the merged observability state of a churn schedule --
+    decision log, counters, deterministic work histograms, span-name
+    sequence -- is bit-identical between serial and ``--jobs 2`` runs."""
+
+    @staticmethod
+    def _obs_state():
+        snapshot = OBS.metrics.snapshot()
+        counters = {
+            key: payload for key, payload in snapshot.items()
+            if payload["type"] == "counter"
+            and not key.startswith("engine.compile_cache.")
+        }
+        # wall-clock histograms (*.seconds) and process-lifetime gauges
+        # are legitimately nondeterministic; everything else must match
+        histograms = {
+            key: payload for key, payload in snapshot.items()
+            if payload["type"] == "histogram"
+            and not key.partition("{")[0].endswith(".seconds")
+        }
+        spans = [
+            event["name"] for event in OBS.tracer.events
+            if event.get("ph") == "X"
+        ]
+        return counters, histograms, spans, list(OBS.declog.records)
+
+    def test_serial_and_parallel_obs_payloads_match(self):
+        states = {}
+        reports = {}
+        for jobs in (1, 2):
+            obs.disable()
+            obs.enable(process_name="driver")
+            try:
+                reports[jobs] = run_service_schedule(CHURN_SCHEDULE, jobs=jobs)
+                states[jobs] = self._obs_state()
+            finally:
+                obs.disable()
+        assert json.dumps(reports[1], sort_keys=True) == json.dumps(
+            reports[2], sort_keys=True
+        )
+        serial, parallel = states[1], states[2]
+        assert serial[3] == parallel[3], "decision logs diverged"
+        assert serial[0] == parallel[0], "counters diverged"
+        assert serial[1] == parallel[1], "work histograms diverged"
+        assert serial[2] == parallel[2], "span sequences diverged"
+        # churn really happened and was logged under shard run ids
+        runs = {record["run"] for record in serial[3]}
+        assert runs == {"shard-0", "shard-1"}
+        assert any(
+            record["event"] == "service_deregister" for record in serial[3]
+        )
+        assert any(
+            record["event"] == "service_slack" for record in serial[3]
         )
