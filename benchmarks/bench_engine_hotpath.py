@@ -11,11 +11,21 @@ leg of every case.  Results land in ``BENCH_hotpath.json`` and the
 columnar-vs-batched extract in ``BENCH_columnar.json`` (repo root by
 default; see docs/PERFORMANCE.md for how to read them).
 
+A fourth section measures shared arrangements (docs/ARRANGEMENTS.md): a
+fan-out of single-join subplans over the same base tables, run with
+arrangements on and off.  Alongside wall clock it records resident
+join-state entries and index-maintenance operations for both legs --
+after asserting the two runs are work- and result-identical -- and the
+extract lands in ``BENCH_arrangements.json``.  With ``--check`` the
+script exits nonzero unless arrangements cut resident entries by at
+least ``ARRANGEMENT_ENTRY_FLOOR``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_hotpath.py [--quick]
-        [--output PATH] [--columnar-output PATH] [--scale S] [--repeat N]
-        [--seed S]
+        [--output PATH] [--columnar-output PATH]
+        [--arrangements-output PATH] [--scale S] [--repeat N] [--seed S]
+        [--check]
 
 This is a standalone script (not a pytest-benchmark module) so CI can run
 it directly and archive the JSON artifacts.
@@ -35,7 +45,8 @@ sys.path.insert(
 
 from repro.engine.executor import PlanExecutor  # noqa: E402
 from repro.engine.stream import StreamConfig  # noqa: E402
-from repro.mqo.merge import MQOOptimizer  # noqa: E402
+from repro.logical.builder import PlanBuilder  # noqa: E402
+from repro.mqo.merge import MQOOptimizer, build_unshared_plan  # noqa: E402
 from repro.mqo.nodes import OpNode, TableRef  # noqa: E402
 from repro.physical.hotpath import (  # noqa: E402
     clear_compiled_caches,
@@ -49,7 +60,8 @@ from repro.physical.operators import (  # noqa: E402
 )
 from repro.physical.work import WorkMeter  # noqa: E402
 from repro.relational.expressions import agg_avg, agg_sum, col  # noqa: E402
-from repro.relational.schema import Schema  # noqa: E402
+from repro.relational.schema import FLOAT, INT, Schema  # noqa: E402
+from repro.relational.table import Catalog  # noqa: E402
 from repro.relational.tuples import DELETE, Delta, INSERT, consolidate  # noqa: E402
 from repro.workloads.tpch import (  # noqa: E402
     ALL_QUERY_NAMES,
@@ -64,6 +76,13 @@ DEFAULT_OUTPUT = os.path.join(
 DEFAULT_COLUMNAR_OUTPUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_columnar.json"
 )
+DEFAULT_ARRANGEMENTS_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..",
+    "BENCH_arrangements.json"
+)
+
+#: ``--check``: minimum resident-entry reduction from shared arrangements
+ARRANGEMENT_ENTRY_FLOOR = 2.0
 
 
 def _columnar_execs():
@@ -513,6 +532,136 @@ def bench_end_to_end(scale, repeat, seed=5, fraction=0.25,
     return results
 
 
+def _arrangement_catalog(n_events, seed):
+    """Two-table star (events -> items) for the fan-out workload."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    n_items = max(32, n_events // 15)
+    catalog = Catalog()
+    items = catalog.create(
+        "items",
+        Schema.of(("item_id", INT), ("item_cat", INT), ("price", FLOAT)),
+    )
+    for iid in range(n_items):
+        items.append((iid, iid % 24, float(rng.randint(1, 100))))
+    events = catalog.create(
+        "events", Schema.of(("ev_item", INT), ("qty", FLOAT))
+    )
+    for _ in range(n_events):
+        events.append(
+            (rng.randrange(n_items), float(rng.randint(1, 9)))
+        )
+    return catalog
+
+
+def _run_fingerprint(result):
+    return (
+        result.total_work,
+        tuple(
+            (r.sid, r.fraction, r.work, r.latency_work, r.output_count)
+            for r in result.records
+        ),
+        tuple(sorted(result.subplan_final_work.items())),
+    )
+
+
+def bench_arrangements(n_events, repeat, n_queries=6, seed=9):
+    """Fan-out of single-join subplans: shared vs private join indexes.
+
+    ``n_queries`` identical events |X| items rollups stay separate
+    subplans (no MQO merge), so with arrangements off each one maintains
+    private hash tables over both base tables; with arrangements on all
+    of them read one shared index per table.  The two legs must be
+    result- and work-identical (asserted here); what the benchmark
+    records is the resource gap -- resident join-state entries and
+    index-maintenance operations -- plus wall clock.
+    """
+    catalog = _arrangement_catalog(n_events, seed)
+    queries = [
+        PlanBuilder.scan(catalog, "events")
+        .join(PlanBuilder.scan(catalog, "items"), "ev_item", "item_id")
+        .aggregate(["item_cat"], [agg_sum(col("qty"), "total")])
+        .as_query(i, "arr_q%d" % i)
+        for i in range(n_queries)
+    ]
+    plan = build_unshared_plan(catalog, queries)
+    pace_cycle = (1, 2, 4)
+    paces = {
+        sid: pace_cycle[index % len(pace_cycle)]
+        for index, sid in enumerate(sorted(s.sid for s in plan.subplans))
+    }
+    config = StreamConfig()
+
+    def private_entries(executor):
+        _, _, compiled, _, _ = executor._runtime
+        total = 0
+        for unit in compiled.values():
+            stack = [unit.root_exec]
+            while stack:
+                node = stack.pop()
+                if hasattr(node, "_private_entries"):
+                    total += node.entry_count
+                for attr in ("left", "right", "child"):
+                    nxt = getattr(node, attr, None)
+                    if nxt is not None and hasattr(nxt, "advance"):
+                        stack.append(nxt)
+        return total
+
+    legs = {}
+    fingerprints = {}
+    for label, arranged in (("arranged", True), ("private", False)):
+        clear_compiled_caches()
+        with engine_mode(batched=True, compile_cache=True, reuse_trees=True,
+                         arrangements=arranged):
+            executor = PlanExecutor(plan, config)
+            probe = executor.run(paces)
+            fingerprints[label] = _run_fingerprint(probe)
+            resident = (
+                probe.metadata["arrangement_summary"]["resident_entries"]
+                if arranged else private_entries(executor)
+            )
+            seconds = _timed(
+                lambda: PlanExecutor(plan, config).run(
+                    paces, collect_results=False
+                ),
+                repeat,
+            )
+        legs[label] = {"seconds": seconds, "resident_entries": resident}
+        if arranged:
+            summary = probe.metadata["arrangement_summary"]
+            legs[label]["maintenance_ops"] = summary["maintenance_ops"]
+            legs[label]["private_ops"] = summary["private_ops"]
+            legs[label]["arrangements"] = len(summary["arrangements"])
+
+    if fingerprints["arranged"] != fingerprints["private"]:
+        raise AssertionError(
+            "arranged and private runs diverged -- the exactness contract "
+            "is broken; do not trust these numbers"
+        )
+
+    arranged, private = legs["arranged"], legs["private"]
+    return {
+        "arranged": arranged,
+        "private": private,
+        "entry_reduction": (
+            private["resident_entries"] / arranged["resident_entries"]
+            if arranged["resident_entries"] else None
+        ),
+        "maintenance_reduction": (
+            arranged["private_ops"] / arranged["maintenance_ops"]
+            if arranged["maintenance_ops"] else None
+        ),
+        "work_identical": True,
+        "workload": {
+            "events": n_events,
+            "queries": n_queries,
+            "seed": seed,
+            "paces": sorted(set(paces.values())),
+        },
+    }
+
+
 def _columnar_report(report):
     """The columnar-vs-batched extract written to BENCH_columnar.json."""
     micro = {}
@@ -547,6 +696,13 @@ def main(argv=None):
                         help="where to write the JSON report")
     parser.add_argument("--columnar-output", default=DEFAULT_COLUMNAR_OUTPUT,
                         help="where to write the columnar-vs-batched extract")
+    parser.add_argument("--arrangements-output",
+                        default=DEFAULT_ARRANGEMENTS_OUTPUT,
+                        help="where to write the arrangements extract")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless arrangements cut resident "
+                             "join-state entries by the %.1fx floor"
+                             % ARRANGEMENT_ENTRY_FLOOR)
     parser.add_argument("--scale", type=float, default=None,
                         help="TPC-H scale for the end-to-end section")
     parser.add_argument("--repeat", type=int, default=None,
@@ -646,6 +802,23 @@ def main(argv=None):
         )
     )
 
+    arr_events = 30_000 if args.quick else 120_000
+    print("shared arrangements fan-out (%d events)" % arr_events)
+    arrangements = bench_arrangements(arr_events, repeat, seed=args.seed + 4)
+    report["arrangements"] = arrangements
+    print(
+        "  resident entries: %d shared vs %d private (%.2fx);"
+        " maintenance ops %.2fx; %.3fs vs %.3fs"
+        % (
+            arrangements["arranged"]["resident_entries"],
+            arrangements["private"]["resident_entries"],
+            arrangements["entry_reduction"],
+            arrangements["maintenance_reduction"],
+            arrangements["arranged"]["seconds"],
+            arrangements["private"]["seconds"],
+        )
+    )
+
     output = os.path.abspath(args.output)
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -659,6 +832,15 @@ def main(argv=None):
                       sort_keys=True)
             handle.write("\n")
         print("wrote %s" % columnar_output)
+
+    arrangements_output = os.path.abspath(args.arrangements_output)
+    with open(arrangements_output, "w") as handle:
+        json.dump(
+            {"config": report["config"], "arrangements": arrangements},
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    print("wrote %s" % arrangements_output)
 
     floor = 2.0
     agg_speedup = report["micro"]["aggregate"]["speedup"]
@@ -693,6 +875,20 @@ def main(argv=None):
                 )
             )
             status = 1
+    entry_reduction = arrangements["entry_reduction"] or 0.0
+    if entry_reduction < ARRANGEMENT_ENTRY_FLOOR:
+        print(
+            "%s: arrangement resident-entry reduction %.2fx below the "
+            "%.1fx floor"
+            % ("FAILED" if args.check else "WARNING", entry_reduction,
+               ARRANGEMENT_ENTRY_FLOOR)
+        )
+        status = 1
+    elif args.check:
+        print(
+            "check passed: %.2fx resident-entry reduction (floor %.1fx)"
+            % (entry_reduction, ARRANGEMENT_ENTRY_FLOOR)
+        )
     return status
 
 

@@ -22,6 +22,7 @@ Both the greedy clustering and the exponential brute-force splitter
 """
 
 from ..cost.model import simulate_subplan
+from ..errors import OptimizationError
 from ..obs import OBS
 
 
@@ -51,7 +52,7 @@ class LocalSplitOptimizer:
     """Solves the section 4.1 local optimization for one shared subplan."""
 
     def __init__(self, subplan, input_stats, local_constraints, max_pace,
-                 cost_config=None):
+                 cost_config=None, verify_warm_start=False):
         self.subplan = subplan
         self.input_stats = input_stats
         self.local_constraints = dict(local_constraints)
@@ -60,6 +61,10 @@ class LocalSplitOptimizer:
         self.queries = tuple(sorted(subplan.query_ids()))
         self._cost_cache = {}
         self.simulations = 0
+        #: re-run every warm-started selected-pace search from pace 1 and
+        #: assert the answers match (tests; guards the monotonicity
+        #: argument the warm starts rely on)
+        self.verify_warm_start = verify_warm_start
 
     # -- primitive costs ------------------------------------------------------
 
@@ -104,6 +109,27 @@ class LocalSplitOptimizer:
         _, final = self.partition_cost(partition, pace)
         return final <= self.partition_constraint(partition)
 
+    def _selected_pace_warm(self, partition, start):
+        """:meth:`selected_pace` from a warm start, optionally verified.
+
+        Monotonicity (section 4.1.2) guarantees a merged partition's
+        selected pace is at least each part's selected pace, so scanning
+        from ``start = max(parts' paces)`` skips paces that cannot win.
+        With :attr:`verify_warm_start` on, the scan is repeated from
+        pace 1 and any divergence raises — the assertion that the skip
+        changed nothing.
+        """
+        pace, total = self.selected_pace(partition, start)
+        if self.verify_warm_start and start > 1:
+            cold = self.selected_pace(partition, 1)
+            if cold != (pace, total):
+                raise OptimizationError(
+                    "warm-started selected pace diverged for %s: "
+                    "warm(start=%d) -> %s, cold -> %s"
+                    % (list(partition), start, (pace, total), cold)
+                )
+        return pace, total
+
     def sharing_benefit(self, part_i, selected_i, part_j, selected_j):
         """Eq. 4: work saved by merging two partitions.
 
@@ -113,7 +139,7 @@ class LocalSplitOptimizer:
         """
         merged = tuple(sorted(set(part_i) | set(part_j)))
         start = max(selected_i[0], selected_j[0])
-        merged_pace, merged_total = self.selected_pace(merged, start)
+        merged_pace, merged_total = self._selected_pace_warm(merged, start)
         gain = selected_i[1] + selected_j[1] - merged_total
         return gain, merged, (merged_pace, merged_total)
 
@@ -197,6 +223,14 @@ class LocalSplitOptimizer:
         """
         if len(self.queries) > max_queries:
             return self.cluster()
+        # every block contains some singleton, and monotonicity puts the
+        # block's selected pace at or above each member's singleton pace:
+        # warm-start each block's scan from the max member pace instead
+        # of re-scanning from pace 1 (``selected_pace(part, 1)``) on
+        # every one of the Bell-number partition sets
+        singleton_pace = {
+            qid: self.selected_pace((qid,), 1)[0] for qid in self.queries
+        }
         best = None
         count = 0
         for partition_set in set_partitions(self.queries):
@@ -204,7 +238,8 @@ class LocalSplitOptimizer:
             total = 0.0
             entries = []
             for part in partition_set:
-                pace, work = self.selected_pace(part, 1)
+                start = max(singleton_pace[qid] for qid in part)
+                pace, work = self._selected_pace_warm(part, start)
                 total += work
                 entries.append((part, pace))
             if best is None or total < best.local_total_work:

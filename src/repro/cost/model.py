@@ -53,15 +53,28 @@ class CostConfig:
     ``minmax_rescan_factor`` is the expected fraction of delete-touched
     groups whose extremum is displaced (monotonically growing aggregates
     displace it nearly every time, which is why Q15 is non-incrementable).
+
+    ``arranged_state`` makes :func:`simulate_subplan` skip the state
+    charge of arrangement-eligible join sides (bare base-table scans, see
+    :func:`repro.engine.arrangements.arrangeable_side`), modeling a
+    deployment that bills shared-index maintenance once instead of once
+    per reader.  It defaults to off because the engine's *charged* work
+    is arrangement-invariant by contract -- arrangements reduce resident
+    state and physical maintenance, not WorkMeter charges -- so the
+    default keeps the simulation aligned with what the engine bills.
+    Turning it on is the what-if: the split optimizer then sees shared
+    base-table join state as free, which shifts sharing benefits.
     """
 
-    __slots__ = ("execution_overhead", "minmax_rescan_factor", "state_factor")
+    __slots__ = ("execution_overhead", "minmax_rescan_factor", "state_factor",
+                 "arranged_state")
 
     def __init__(self, execution_overhead=1.0, minmax_rescan_factor=0.5,
-                 state_factor=0.3):
+                 state_factor=0.3, arranged_state=False):
         self.execution_overhead = float(execution_overhead)
         self.minmax_rescan_factor = float(minmax_rescan_factor)
         self.state_factor = float(state_factor)
+        self.arranged_state = bool(arranged_state)
 
 
 DEFAULT_COST_CONFIG = CostConfig()
@@ -442,6 +455,17 @@ def simulate_subplan(subplan, pace, input_stats, config=None, query_subset=None)
 
     agg_universes = {}
 
+    arranged_sides = {}
+    if config.arranged_state and config.state_factor:
+        from ..engine.arrangements import arrangeable_side
+
+        for node in subplan.root.walk():
+            if node.kind == "join":
+                arranged_sides[node.uid] = (
+                    arrangeable_side(node, 0) is not None,
+                    arrangeable_side(node, 1) is not None,
+                )
+
     def _state_charge():
         """Per-execution state-store maintenance (mirrors the engine)."""
         if not config.state_factor:
@@ -449,7 +473,13 @@ def simulate_subplan(subplan, pace, input_stats, config=None, query_subset=None)
         entries = 0.0
         for uid, state in node_states.items():
             if isinstance(state, _JoinSimState):
-                entries += state.left_net + state.right_net
+                left_shared, right_shared = arranged_sides.get(
+                    uid, (False, False)
+                )
+                if not left_shared:
+                    entries += state.left_net
+                if not right_shared:
+                    entries += state.right_net
             else:
                 # one state entry per (group, query) pair, like the engine
                 for qid, n_q in state.n_q.items():

@@ -126,6 +126,11 @@ class Buffer:
             OBS.metrics.counter(
                 "engine.buffer.compacted_deltas", buffer=self.name
             ).inc(drop)
+            # occupancy shrank: refresh the gauge (it is otherwise only
+            # set on append, which left dashboards reading stale values)
+            OBS.metrics.gauge(
+                "engine.buffer.occupancy", buffer=self.name
+            ).set(len(self.deltas) + self._pending_len)
         return drop
 
     def reset(self):

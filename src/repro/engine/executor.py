@@ -33,6 +33,7 @@ from ..physical.hotpath import (
 from ..physical.operators import AggregateExec, JoinExec, SourceExec
 from ..physical.work import WorkMeter
 from ..relational.tuples import consolidate
+from .arrangements import ArrangementStore, arrangeable_side
 from .buffers import Buffer
 from .metrics import ExecutionRecord, RunResult
 from .stream import StreamConfig, TableStream, execution_fractions
@@ -98,6 +99,7 @@ class PlanExecutor:
         self.compiled = None  # filled per run
         self._runtime = None  # reusable compiled tree (HOTPATH.reuse_trees)
         self._runtime_columnar = None  # backend the cached tree was built for
+        self._runtime_arranged = None  # arrangements toggle at compile time
 
     def rebind(self, plan=None, catalog=None):
         """Swap the plan and/or catalog this executor runs.
@@ -139,6 +141,7 @@ class PlanExecutor:
 
     def _compile(self):
         self._runtime_columnar = self._columnar_active()
+        self._runtime_arranged = bool(HOTPATH.arrangements)
         table_streams = {}
         table_buffers = {}
         for subplan in self.plan.topological_order():
@@ -148,18 +151,19 @@ class PlanExecutor:
                     table_streams[name] = TableStream(table)
                     table_buffers[name] = Buffer("table:%s" % name)
         compiled = {}
+        store = ArrangementStore()
         order = self.plan.topological_order()
         for subplan in order:
             meter = WorkMeter()
             root_exec = self._compile_node(
-                subplan.root, subplan, meter, table_buffers, compiled
+                subplan.root, subplan, meter, table_buffers, compiled, store
             )
             buffer = Buffer("subplan:%d" % subplan.sid)
             compiled[subplan.sid] = CompiledSubplan(subplan, meter, root_exec, buffer)
         # query-root buffers are replayed from offset 0 by query_result_view
         for root in self.plan.query_roots.values():
             compiled[root.sid].buffer.pinned = True
-        return table_streams, table_buffers, compiled, order
+        return table_streams, table_buffers, compiled, order, store
 
     def _ensure_compiled(self):
         """The runtime tuple, reusing the previous run's tree when allowed.
@@ -172,12 +176,14 @@ class PlanExecutor:
             HOTPATH.reuse_trees
             and self._runtime is not None
             and self._runtime_columnar == self._columnar_active()
+            and self._runtime_arranged == bool(HOTPATH.arrangements)
         ):
-            table_streams, table_buffers, compiled, order = self._runtime
+            table_streams, table_buffers, compiled, order, store = self._runtime
             for stream in table_streams.values():
                 stream.reset()
             for buffer in table_buffers.values():
                 buffer.reset()
+            store.reset()
             for unit in compiled.values():
                 unit.buffer.reset()
                 unit.meter.reset()
@@ -191,7 +197,8 @@ class PlanExecutor:
             self._runtime = runtime
         return runtime
 
-    def _compile_node(self, node, subplan, meter, table_buffers, compiled):
+    def _compile_node(self, node, subplan, meter, table_buffers, compiled,
+                      store):
         mask = subplan.query_mask
         if self._runtime_columnar:
             from ..physical.columnar import (
@@ -225,15 +232,28 @@ class PlanExecutor:
                 consolidate_reads=consolidate_reads,
             )
         children = [
-            self._compile_node(child, subplan, meter, table_buffers, compiled)
+            self._compile_node(child, subplan, meter, table_buffers, compiled,
+                               store)
             for child in node.children
         ]
         state_factor = self.stream_config.state_factor
         if node.kind == "join":
-            return join_cls(
+            join = join_cls(
                 node, children[0], children[1], meter, self.stats_mode,
                 state_factor=state_factor,
             )
+            if self._runtime_arranged:
+                for side in (0, 1):
+                    spec = arrangeable_side(node, side)
+                    if spec is not None:
+                        table_name, key_indexes = spec
+                        handle = store.handle(
+                            table_name, key_indexes,
+                            table_buffers[table_name], subplan.sid,
+                            "join:%d" % node.uid,
+                        )
+                        join.attach_arrangement(side, handle)
+            return join
         return aggregate_cls(
             node, children[0], mask, meter, self.stats_mode,
             state_factor=state_factor,
@@ -262,7 +282,9 @@ class PlanExecutor:
         e.g. the paper's "simple approach" baseline executes once before
         the trigger and once at it.
         """
-        table_streams, table_buffers, compiled, order = self._ensure_compiled()
+        table_streams, table_buffers, compiled, order, store = (
+            self._ensure_compiled()
+        )
         self.compiled = compiled
 
         one = Fraction(1)
@@ -305,6 +327,9 @@ class PlanExecutor:
                 "batched" if HOTPATH.batched else "reference"
             )
         result.metadata["columnar"] = bool(self._runtime_columnar)
+        result.metadata["arrangements"] = bool(
+            self._runtime_arranged and len(store)
+        )
         overhead = self.stream_config.execution_overhead
         run_start_us = OBS.tracer.now_us() if OBS.enabled else 0.0
         for fraction in sorted(schedule):
@@ -348,6 +373,26 @@ class PlanExecutor:
             OBS.metrics.gauge("engine.compile_cache.misses").set(
                 compile_cache_stats["misses"]
             )
+        if len(store):
+            summary = store.summary()
+            result.metadata["arrangement_summary"] = summary
+            if OBS.enabled:
+                metrics = OBS.metrics
+                metrics.gauge("engine.arrangement.resident_entries").set(
+                    summary["resident_entries"]
+                )
+                metrics.counter("engine.arrangement.maintenance_ops").inc(
+                    summary["maintenance_ops"]
+                )
+                # per-reader work a private table would have paid minus
+                # what the shared index actually applied
+                metrics.counter("engine.arrangement.reused_ops").inc(
+                    summary["shared_ops_saved"]
+                )
+                for info in summary["arrangements"]:
+                    metrics.gauge(
+                        "engine.arrangement.reader_lag", table=info["table"]
+                    ).set(info["reader_lag"])
 
         for qid, root in self.plan.query_roots.items():
             final = sum(

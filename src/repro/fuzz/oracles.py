@@ -26,6 +26,16 @@ Every case runs through multiple pipelines that must agree:
     the join's vectorized arange/repeat probe runs even on fuzz-sized
     batches (the default adaptive threshold would pick the scalar probe
     for them).  Same exactness contract as ``shared-columnar``.
+``shared-arranged`` / ``shared-private``
+    the batched hot path with shared arrangements explicitly on and
+    explicitly off (``engine_mode(arrangements=...)``).  The two runs
+    must be *bit-identical* -- results, total work, every execution
+    record and subplan final work -- because arrangements are a purely
+    physical optimization (see :mod:`repro.engine.arrangements`).
+``service-private``
+    when the case exercises the service, the same register/churn/dropout
+    sequence is replayed with arrangements off and the final window must
+    be bit-identical to the ``service`` oracle's.
 ``decomposed``
     optionally, the shared plan after a random two-way decomposition
     (:func:`repro.core.regenerate.apply_split`) of one shared subplan,
@@ -142,7 +152,7 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
     shared_state = {}
 
     def run_shared(batched=None, pace1=False, columnar=False,
-                   probe_max=None):
+                   probe_max=None, arranged=None):
         def runner():
             if "plan" not in shared_state:
                 shared_state["plan"] = MQOOptimizer(catalog).build_shared_plan(
@@ -157,22 +167,29 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
                 if pace1
                 else shared_state["paces"]
             )
-            if columnar:
-                from ..physical import columnar as columnar_mod
 
-                saved = columnar_mod.SCALAR_PROBE_MAX
-                if probe_max is not None:
-                    columnar_mod.SCALAR_PROBE_MAX = probe_max
-                try:
-                    with engine_mode(batched=True, columnar=True):
-                        result = PlanExecutor(plan, config).run(paces)
-                finally:
-                    columnar_mod.SCALAR_PROBE_MAX = saved
-            elif batched is None:
-                result = PlanExecutor(plan, config).run(paces)
-            else:
+            def execute():
+                if columnar:
+                    from ..physical import columnar as columnar_mod
+
+                    saved = columnar_mod.SCALAR_PROBE_MAX
+                    if probe_max is not None:
+                        columnar_mod.SCALAR_PROBE_MAX = probe_max
+                    try:
+                        with engine_mode(batched=True, columnar=True):
+                            return PlanExecutor(plan, config).run(paces)
+                    finally:
+                        columnar_mod.SCALAR_PROBE_MAX = saved
+                if batched is None:
+                    return PlanExecutor(plan, config).run(paces)
                 with engine_mode(batched=batched):
-                    result = PlanExecutor(plan, config).run(paces)
+                    return PlanExecutor(plan, config).run(paces)
+
+            if arranged is None:
+                result = execute()
+            else:
+                with engine_mode(arrangements=arranged):
+                    result = execute()
             return result, plan, paces
 
         return runner
@@ -180,6 +197,8 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
     attempt("shared-batched", run_shared(batched=True))
     attempt("shared-unbatched", run_shared(batched=False))
     attempt("shared-pace1", run_shared(pace1=True))
+    attempt("shared-arranged", run_shared(batched=True, arranged=True))
+    attempt("shared-private", run_shared(batched=True, arranged=False))
     if columnar_available():
         # default thresholds (scalar probe on fuzz-sized batches), plus a
         # forced-vectorized run so the arange/repeat probe is fuzzed too
@@ -232,65 +251,80 @@ def run_case(case, case_path=None, rel_tol=REL_TOL, abs_tol=ABS_TOL):
     service_conservation = []
     if case.get("service"):
 
-        def run_service():
-            from fractions import Fraction
+        def run_service(collect=True, arranged=None):
+            def runner():
+                from fractions import Fraction
 
-            from ..core.optimizer import OptimizerConfig
-            from ..service.core import QueryService
+                from ..core.optimizer import OptimizerConfig
+                from ..service.core import QueryService
 
-            spec = case["service"]
-            svc = QueryService(
-                lambda window: grammar.build_catalog(case),
-                OptimizerConfig(
-                    max_pace=max(1, int(case.get("pace_ceiling", 1))),
-                    stream_config=config,
-                ),
-            )
-            for query in queries:
-                svc.register(
-                    query, "t%d" % (query.query_id % 2),
-                    spec.get("goal", 50.0),
+                spec = case["service"]
+                svc = QueryService(
+                    lambda window: grammar.build_catalog(case),
+                    OptimizerConfig(
+                        max_pace=max(1, int(case.get("pace_ceiling", 1))),
+                        stream_config=config,
+                    ),
                 )
-            for _ in range(max(1, int(spec.get("windows", 2))) - 1):
-                svc.run_window()
-            for qid in spec.get("dropouts", ()):
-                # the shrinker mutates cases freely: only drop queries
-                # that are actually live, and never the last one
-                if qid in svc.registrations and len(svc.registrations) > 1:
-                    svc.deregister(qid)
-            outcome = svc.run_window(collect_results=True)
-            service_slots.update(svc.slots)
-            # attribution conservation oracle: the ledger's own exact
-            # re-check, plus an independent rational re-sum of the final
-            # window against the measured per-subplan WorkMeter totals --
-            # the ledger can never silently leak or double-count work
-            # across register/churn/dropout sequences
-            service_conservation.extend(
-                "service attribution: " + failure
-                for failure in svc.attribution.check_conservation()
-            )
-            _, shares = svc.attribution.windows[-1]
-            attributed = sum(shares.values(), Fraction(0))
-            served = {
-                subplan.sid for subplan in svc.plan.subplans
-                if subplan.query_ids()
-            }
-            measured = sum(
-                (
-                    Fraction(work)
-                    for sid, work in outcome.run.subplan_total_work.items()
-                    if sid in served
-                ),
-                Fraction(0),
-            )
-            if attributed != measured:
-                service_conservation.append(
-                    "service attribution: final window attributed %s != "
-                    "measured %s" % (attributed, measured)
-                )
-            return outcome.run, svc.plan, svc.paces
 
-        attempt("service", run_service)
+                def drive():
+                    for query in queries:
+                        svc.register(
+                            query, "t%d" % (query.query_id % 2),
+                            spec.get("goal", 50.0),
+                        )
+                    for _ in range(max(1, int(spec.get("windows", 2))) - 1):
+                        svc.run_window()
+                    for qid in spec.get("dropouts", ()):
+                        # the shrinker mutates cases freely: only drop
+                        # queries that are actually live, and never the
+                        # last one
+                        if qid in svc.registrations and len(svc.registrations) > 1:
+                            svc.deregister(qid)
+                    return svc.run_window(collect_results=True)
+
+                if arranged is None:
+                    outcome = drive()
+                else:
+                    with engine_mode(arrangements=arranged):
+                        outcome = drive()
+                if not collect:
+                    return outcome.run, svc.plan, svc.paces
+                service_slots.update(svc.slots)
+                # attribution conservation oracle: the ledger's own exact
+                # re-check, plus an independent rational re-sum of the final
+                # window against the measured per-subplan WorkMeter totals --
+                # the ledger can never silently leak or double-count work
+                # across register/churn/dropout sequences
+                service_conservation.extend(
+                    "service attribution: " + failure
+                    for failure in svc.attribution.check_conservation()
+                )
+                _, shares = svc.attribution.windows[-1]
+                attributed = sum(shares.values(), Fraction(0))
+                served = {
+                    subplan.sid for subplan in svc.plan.subplans
+                    if subplan.query_ids()
+                }
+                measured = sum(
+                    (
+                        Fraction(work)
+                        for sid, work in outcome.run.subplan_total_work.items()
+                        if sid in served
+                    ),
+                    Fraction(0),
+                )
+                if attributed != measured:
+                    service_conservation.append(
+                        "service attribution: final window attributed %s != "
+                        "measured %s" % (attributed, measured)
+                    )
+                return outcome.run, svc.plan, svc.paces
+
+            return runner
+
+        attempt("service", run_service())
+        attempt("service-private", run_service(collect=False, arranged=False))
 
     failures = _verdict(
         case, queries, outcomes, reference, rel_tol, abs_tol, service_slots
@@ -349,7 +383,7 @@ def _verdict(case, queries, outcomes, reference, rel_tol, abs_tol,
         failures.extend(_check_invariants(name, outcome))
         if name == "unshared":
             continue
-        if name == "service":
+        if name in ("service", "service-private"):
             # the service renumbers external ids onto dense slots and
             # deregistered queries have no final-window result: compare
             # only the survivors, through the slot map
@@ -385,6 +419,24 @@ def _verdict(case, queries, outcomes, reference, rel_tol, abs_tol,
         ):
             failures.extend(
                 _check_work_identity(columnar.result, batched.result)
+            )
+
+    # arrangements are a physical optimization: on vs off must be exact
+    for left_name, right_name in (
+        ("shared-arranged", "shared-private"),
+        ("service", "service-private"),
+    ):
+        left = outcomes.get(left_name)
+        right = outcomes.get(right_name)
+        if (
+            left is not None and right is not None
+            and left.error is None and right.error is None
+        ):
+            failures.extend(
+                _check_bit_identity(
+                    left.result, right.result, label="arrangements",
+                    names=(left_name, right_name),
+                )
             )
     return failures
 
@@ -452,18 +504,21 @@ def _compare_results(name, run, reference, queries, rel_tol, abs_tol,
     return failures
 
 
-def _check_bit_identity(batched, unbatched):
-    """The batched hot path must match the per-tuple path *exactly*."""
+def _check_bit_identity(batched, unbatched, label="hotpath",
+                        names=("batched", "unbatched")):
+    """Two runs that must match *exactly* (results, work, records)."""
     failures = []
+    left_name, right_name = names
     if batched.query_results != unbatched.query_results:
         failures.append(
-            "hotpath: batched and unbatched query results are not "
-            "bit-identical"
+            "%s: %s and %s query results are not bit-identical"
+            % (label, left_name, right_name)
         )
     if batched.total_work != unbatched.total_work:
         failures.append(
-            "hotpath: total_work differs batched=%r unbatched=%r"
-            % (batched.total_work, unbatched.total_work)
+            "%s: total_work differs %s=%r %s=%r"
+            % (label, left_name, batched.total_work,
+               right_name, unbatched.total_work)
         )
     batched_records = [
         (r.sid, r.fraction, r.work, r.latency_work, r.output_count)
@@ -474,9 +529,15 @@ def _check_bit_identity(batched, unbatched):
         for r in unbatched.records
     ]
     if batched_records != unbatched_records:
-        failures.append("hotpath: execution records differ between paths")
+        failures.append(
+            "%s: execution records differ between %s and %s"
+            % (label, left_name, right_name)
+        )
     if batched.subplan_final_work != unbatched.subplan_final_work:
-        failures.append("hotpath: subplan final work differs between paths")
+        failures.append(
+            "%s: subplan final work differs between %s and %s"
+            % (label, left_name, right_name)
+        )
     return failures
 
 

@@ -508,6 +508,37 @@ class _ColumnarJoinSide:
             self.net_dirty = []
         return self.arrays[0], self.arrays[1], self.net_array
 
+    def compact(self):
+        """Rebuild the raw chunks from live slots only.
+
+        Installs free a slot's index when its net retracts to zero, but
+        the append-only ``rows_raw``/``bits_raw``/``net`` chunks (and
+        their materialized arrays) kept the dead positions forever, so
+        delete-heavy churn leaked memory proportional to total churn
+        instead of live state.  Reindexing walks the slot dicts in their
+        existing order, so per-key probe order — the only order probes
+        observe — is untouched.
+        """
+        rows_raw = []
+        bits_raw = []
+        net = []
+        old_net = self.net
+        for per_key in self.slots.values():
+            for slot in per_key:
+                idx = per_key[slot]
+                per_key[slot] = len(net)
+                rows_raw.append(slot[0])
+                bits_raw.append(slot[1])
+                net.append(old_net[idx])
+        self.rows_raw = rows_raw
+        self.bits_raw = bits_raw
+        self.net = net
+        self.arrays = None
+        self.net_array = None
+        self.materialized = 0
+        self.net_dirty = []
+        self.dead = 0
+
 
 # Batches below this row count probe with the scalar loop: per-delta
 # python emission beats the arange/repeat expansion until the probe
@@ -531,7 +562,9 @@ class ColumnarJoinExec:
         self.right = right
         self.meter = meter
         self.state_factor = state_factor
-        self.entry_count = 0
+        self._private_entries = 0
+        self._left_arranged = None
+        self._right_arranged = None
         self.name = "join:%d" % node.uid
         left_schema = node.children[0].out_schema
         right_schema = node.children[1].out_schema
@@ -555,12 +588,29 @@ class ColumnarJoinExec:
         self.in_right_per_q = {}
         self.out_per_q = {}
 
+    def attach_arrangement(self, side, handle):
+        """Serve one side (0=left, 1=right) from a shared arrangement."""
+        if side == 0:
+            self._left_arranged = handle
+        else:
+            self._right_arranged = handle
+
+    @property
+    def entry_count(self):
+        """Net stored entries this join is charged for (private + shared)."""
+        count = self._private_entries
+        if self._left_arranged is not None:
+            count += self._left_arranged.version.entries
+        if self._right_arranged is not None:
+            count += self._right_arranged.version.entries
+        return count
+
     def reset(self):
         self.left.reset()
         self.right.reset()
         self._left_state.reset()
         self._right_state.reset()
-        self.entry_count = 0
+        self._private_entries = 0
         self.in_left = 0
         self.in_right = 0
         self.out_total = 0
@@ -576,22 +626,28 @@ class ColumnarJoinExec:
             self.name, len(left_batch) + len(right_batch)
         )
         outputs = []
-        if len(left_batch):
-            keys = self._keys(left_batch, self._left_key_idx)
-            # probe new left deltas against the old right state, then
-            # install them -- installs only touch the left table, so
-            # batch-level probe/install matches the fused per-delta order
-            self._probe(left_batch, keys, self._right_state, True, outputs)
-            self.entry_count += self._install(
-                self._left_state, left_batch, keys
-            )
-        if len(right_batch):
-            keys = self._keys(right_batch, self._right_key_idx)
-            # probe new right deltas against the *new* left state
-            self._probe(right_batch, keys, self._left_state, False, outputs)
-            self.entry_count += self._install(
-                self._right_state, right_batch, keys
-            )
+        if self._left_arranged is not None or self._right_arranged is not None:
+            self._advance_arranged(left_batch, right_batch, outputs)
+        else:
+            if len(left_batch):
+                keys = self._keys(left_batch, self._left_key_idx)
+                # probe new left deltas against the old right state, then
+                # install them -- installs only touch the left table, so
+                # batch-level probe/install matches the fused per-delta
+                # order
+                self._probe(left_batch, keys, self._right_state, True,
+                            outputs)
+                self._private_entries += self._install(
+                    self._left_state, left_batch, keys
+                )
+            if len(right_batch):
+                keys = self._keys(right_batch, self._right_key_idx)
+                # probe new right deltas against the *new* left state
+                self._probe(right_batch, keys, self._left_state, False,
+                            outputs)
+                self._private_entries += self._install(
+                    self._right_state, right_batch, keys
+                )
         out = concat_batches(outputs, self.out_width)
         self.meter.charge_output(self.name, len(out))
         if self.state_factor:
@@ -606,6 +662,97 @@ class ColumnarJoinExec:
             _count_bits(right_batch.bits, self.in_right_per_q)
             _count_bits(out.bits, self.out_per_q)
         return self.decorations.apply(out, self.meter)
+
+    def _advance_arranged(self, left_batch, right_batch, outputs):
+        """The four-pass advance with arranged sides swapped in.
+
+        Mirrors :meth:`~repro.physical.operators.JoinExec
+        ._advance_arranged`: probe left against the *old* right state,
+        install left, probe right against the *new* left state, install
+        right.  An arranged install is ``advance_to`` on the shared
+        index; a private side keeps the columnar probe/install verbatim.
+        """
+        la = self._left_arranged
+        ra = self._right_arranged
+        if len(left_batch):
+            keys = self._keys(left_batch, self._left_key_idx)
+            if ra is not None:
+                self._probe_arranged(left_batch, keys, ra, True, outputs)
+            else:
+                self._probe(left_batch, keys, self._right_state, True,
+                            outputs)
+            if la is None:
+                self._private_entries += self._install(
+                    self._left_state, left_batch, keys
+                )
+        if la is not None:
+            la.advance_to(self.left.reader.offset)
+        if len(right_batch):
+            keys = self._keys(right_batch, self._right_key_idx)
+            if la is not None:
+                self._probe_arranged(right_batch, keys, la, False, outputs)
+            else:
+                self._probe(right_batch, keys, self._left_state, False,
+                            outputs)
+            if ra is None:
+                self._private_entries += self._install(
+                    self._right_state, right_batch, keys
+                )
+        if ra is not None:
+            ra.advance_to(self.right.reader.offset)
+
+    def _probe_arranged(self, batch, keys, handle, left_side, outputs):
+        """Per-delta probe against an arranged side's current version.
+
+        Always scalar: the arrangement's ``key -> {row: net}`` dicts are
+        shared with readers at other offsets, so there is no per-reader
+        array form to vectorize over.  Emits exactly
+        :meth:`_probe_scalar`'s sequence — delta-major, matches in
+        insertion order, ``|net|`` copies, output bits the probing
+        delta's bits (see the exactness contract in
+        :mod:`repro.engine.arrangements`).
+        """
+        table_get = handle.version.table.get
+        rows = batch.rows()
+        signs = batch.signs.tolist()
+        bits_list = batch.bits.tolist()
+        out_rows = []
+        out_signs = []
+        out_bits = []
+        rows_append = out_rows.append
+        signs_append = out_signs.append
+        bits_append = out_bits.append
+        for position, key in enumerate(keys):
+            matches = table_get(key)
+            if not matches:
+                continue
+            dbits = bits_list[position]
+            if dbits == 0:
+                continue
+            row = rows[position]
+            sign = signs[position]
+            for other, entry_net in matches.items():
+                if entry_net > 0:
+                    out_sign, reps = sign, entry_net
+                else:
+                    out_sign, reps = -sign, -entry_net
+                joined = row + other if left_side else other + row
+                if reps == 1:
+                    rows_append(joined)
+                    signs_append(out_sign)
+                    bits_append(dbits)
+                else:
+                    out_rows.extend([joined] * reps)
+                    out_signs.extend([out_sign] * reps)
+                    out_bits.extend([dbits] * reps)
+        if not out_rows:
+            return
+        outputs.append(ColumnBatch.from_rows(
+            out_rows,
+            np.array(out_signs, dtype=np.int64),
+            np.array(out_bits, dtype=np.int64),
+            self.out_width,
+        ))
 
     @staticmethod
     def _keys(batch, key_idx):
@@ -785,6 +932,10 @@ class ColumnarJoinExec:
                     live -= 1
                     state.dead += 1
         state.live += live
+        # bound dead-slot waste: once retracted slots outnumber live
+        # ones (with a floor so tiny states never thrash), rebuild
+        if state.dead > 32 and state.dead >= state.live:
+            state.compact()
         return entries
 
     def state_size(self):
@@ -794,6 +945,13 @@ class ColumnarJoinExec:
             for per_key in state.slots.values():
                 for idx in per_key.values():
                     total += abs(state.net[idx])
+        for handle in (self._left_arranged, self._right_arranged):
+            if handle is not None:
+                total += sum(
+                    abs(n)
+                    for m in handle.version.table.values()
+                    for n in m.values()
+                )
         return total
 
 

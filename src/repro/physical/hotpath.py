@@ -35,11 +35,20 @@ default on, ``columnar`` defaults off):
     operator tree across ``run()`` calls (state is deterministically
     reset between runs instead of rebuilt).
 
+``arrangements``
+    shared join arrangements (:mod:`repro.engine.arrangements`): one
+    multi-reader index per ``(table, key columns)`` replaces the
+    eligible joins' private hash tables.  Results and WorkMeter charges
+    stay bit-identical to the private path (the fuzz oracle
+    ``shared-arranged`` enforces it); resident state and maintenance
+    work drop (docs/ARRANGEMENTS.md).  Defaults on.
+
 Environment overrides (read once at import): ``REPRO_ENGINE_UNBATCHED``,
-``REPRO_ENGINE_NO_COMPILE_CACHE``, ``REPRO_ENGINE_NO_PLAN_REUSE``, and
-``REPRO_ENGINE_COLUMNAR`` (``1`` turns the columnar backend on by
-default, ``0`` is a kill switch that pins it off even when
-``engine_mode(columnar=True)`` asks for it).
+``REPRO_ENGINE_NO_COMPILE_CACHE``, ``REPRO_ENGINE_NO_PLAN_REUSE``,
+``REPRO_ENGINE_NO_ARRANGEMENTS`` (kill switch restoring per-join
+private state), and ``REPRO_ENGINE_COLUMNAR`` (``1`` turns the columnar
+backend on by default, ``0`` is a kill switch that pins it off even
+when ``engine_mode(columnar=True)`` asks for it).
 """
 
 import os
@@ -70,21 +79,23 @@ def columnar_available():
 class EngineMode:
     """Mutable toggles for the engine's hot-path optimisations."""
 
-    __slots__ = ("batched", "compile_cache", "reuse_trees", "columnar")
+    __slots__ = ("batched", "compile_cache", "reuse_trees", "columnar",
+                 "arrangements")
 
     def __init__(self, batched=True, compile_cache=True, reuse_trees=True,
-                 columnar=False):
+                 columnar=False, arrangements=True):
         self.batched = bool(batched)
         self.compile_cache = bool(compile_cache)
         self.reuse_trees = bool(reuse_trees)
         self.columnar = bool(columnar)
+        self.arrangements = bool(arrangements)
 
     def __repr__(self):
         return (
             "EngineMode(batched=%s, compile_cache=%s, reuse_trees=%s, "
-            "columnar=%s)"
+            "columnar=%s, arrangements=%s)"
             % (self.batched, self.compile_cache, self.reuse_trees,
-               self.columnar)
+               self.columnar, self.arrangements)
         )
 
 
@@ -94,6 +105,7 @@ HOTPATH = EngineMode(
     compile_cache=not os.environ.get("REPRO_ENGINE_NO_COMPILE_CACHE"),
     reuse_trees=not os.environ.get("REPRO_ENGINE_NO_PLAN_REUSE"),
     columnar=_COLUMNAR_ENV in ("1", "on", "yes", "true"),
+    arrangements=not os.environ.get("REPRO_ENGINE_NO_ARRANGEMENTS"),
 )
 
 
@@ -106,10 +118,10 @@ def engine_mode_label():
 
 @contextmanager
 def engine_mode(batched=None, compile_cache=None, reuse_trees=None,
-                columnar=None):
+                columnar=None, arrangements=None):
     """Temporarily override :data:`HOTPATH` toggles (tests, benchmarks)."""
     saved = (HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees,
-             HOTPATH.columnar)
+             HOTPATH.columnar, HOTPATH.arrangements)
     if batched is not None:
         HOTPATH.batched = bool(batched)
     if compile_cache is not None:
@@ -118,11 +130,13 @@ def engine_mode(batched=None, compile_cache=None, reuse_trees=None,
         HOTPATH.reuse_trees = bool(reuse_trees)
     if columnar is not None:
         HOTPATH.columnar = bool(columnar)
+    if arrangements is not None:
+        HOTPATH.arrangements = bool(arrangements)
     try:
         yield HOTPATH
     finally:
         (HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees,
-         HOTPATH.columnar) = saved
+         HOTPATH.columnar, HOTPATH.arrangements) = saved
 
 
 # -- bits -> query-id decoding cache ----------------------------------------

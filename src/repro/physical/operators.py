@@ -330,6 +330,13 @@ class JoinExec:
     Both sides keep net-multiplicity hash tables keyed by the join key;
     output bitvectors are the AND of the matching inputs' bitvectors, and
     deletions propagate with multiplied signs.
+
+    A side over a bare base-table scan may instead hold an
+    :class:`~repro.engine.arrangements.ArrangementHandle`
+    (:meth:`attach_arrangement`): the shared index replaces that side's
+    private table, with identical probe outputs and identical WorkMeter
+    charges (see the exactness contract in
+    :mod:`repro.engine.arrangements`).
     """
 
     def __init__(self, node, left, right, meter, stats_mode=False,
@@ -339,7 +346,9 @@ class JoinExec:
         self.right = right
         self.meter = meter
         self.state_factor = state_factor
-        self.entry_count = 0
+        self._private_entries = 0
+        self._left_arranged = None
+        self._right_arranged = None
         self.name = "join:%d" % node.uid
         artifacts = cached_artifacts(("join", node.uid), lambda: _JoinArtifacts(node))
         self._left_key = artifacts.left_key
@@ -358,12 +367,34 @@ class JoinExec:
         self.in_right_per_q = {}
         self.out_per_q = {}
 
+    def attach_arrangement(self, side, handle):
+        """Serve one side (0=left, 1=right) from a shared arrangement."""
+        if side == 0:
+            self._left_arranged = handle
+        else:
+            self._right_arranged = handle
+
+    @property
+    def entry_count(self):
+        """Net stored entries this join is charged for (private + shared).
+
+        An arranged side contributes its handle's version entries — the
+        exact count the private table would hold at the same offset — so
+        ``charge_state`` stays bit-identical across the toggle.
+        """
+        count = self._private_entries
+        if self._left_arranged is not None:
+            count += self._left_arranged.version.entries
+        if self._right_arranged is not None:
+            count += self._right_arranged.version.entries
+        return count
+
     def reset(self):
         self.left.reset()
         self.right.reset()
         self._left_table.clear()
         self._right_table.clear()
-        self.entry_count = 0
+        self._private_entries = 0
         self.in_left = 0
         self.in_right = 0
         self.out_total = 0
@@ -382,21 +413,25 @@ class JoinExec:
         right_deltas = self.right.advance()
         self.meter.charge_input(self.name, len(left_deltas) + len(right_deltas))
         out = []
-        if left_deltas:
-            # probe new left deltas against the old right state, installing
-            # each into the left table as it goes (fused: installs only
-            # touch the delta's own side, so per-delta probe/install
-            # interleaving emits exactly the two-pass reference order)
-            self.entry_count += self._process_batch(
-                left_deltas, self._right_table, self._left_table,
-                self._left_index, self._left_key, out, True,
-            )
-        if right_deltas:
-            # probe new right deltas against the *new* left state
-            self.entry_count += self._process_batch(
-                right_deltas, self._left_table, self._right_table,
-                self._right_index, self._right_key, out, False,
-            )
+        if self._left_arranged is not None or self._right_arranged is not None:
+            self._advance_arranged(left_deltas, right_deltas, out)
+        else:
+            if left_deltas:
+                # probe new left deltas against the old right state,
+                # installing each into the left table as it goes (fused:
+                # installs only touch the delta's own side, so per-delta
+                # probe/install interleaving emits exactly the two-pass
+                # reference order)
+                self._private_entries += self._process_batch(
+                    left_deltas, self._right_table, self._left_table,
+                    self._left_index, self._left_key, out, True,
+                )
+            if right_deltas:
+                # probe new right deltas against the *new* left state
+                self._private_entries += self._process_batch(
+                    right_deltas, self._left_table, self._right_table,
+                    self._right_index, self._right_key, out, False,
+                )
         self.meter.charge_output(self.name, len(out))
         if self.state_factor:
             self.meter.charge_state(self.name, self.state_factor * self.entry_count)
@@ -497,22 +532,27 @@ class JoinExec:
         right_deltas = self.right.advance()
         self.meter.charge_input(self.name, len(left_deltas) + len(right_deltas))
         out = []
-        # 1) probe new left deltas against the old right state
-        for delta in left_deltas:
-            self._probe(delta, self._right_table, self._left_key, out, left_side=True)
-        # 2) install new left deltas
-        for delta in left_deltas:
-            self.entry_count += _table_update(
-                self._left_table, self._left_key(delta.row), delta
-            )
-        # 3) probe new right deltas against the *new* left state
-        for delta in right_deltas:
-            self._probe(delta, self._left_table, self._right_key, out, left_side=False)
-        # 4) install new right deltas
-        for delta in right_deltas:
-            self.entry_count += _table_update(
-                self._right_table, self._right_key(delta.row), delta
-            )
+        if self._left_arranged is not None or self._right_arranged is not None:
+            self._advance_arranged(left_deltas, right_deltas, out)
+        else:
+            # 1) probe new left deltas against the old right state
+            for delta in left_deltas:
+                self._probe(delta, self._right_table, self._left_key, out,
+                            left_side=True)
+            # 2) install new left deltas
+            for delta in left_deltas:
+                self._private_entries += _table_update(
+                    self._left_table, self._left_key(delta.row), delta
+                )
+            # 3) probe new right deltas against the *new* left state
+            for delta in right_deltas:
+                self._probe(delta, self._left_table, self._right_key, out,
+                            left_side=False)
+            # 4) install new right deltas
+            for delta in right_deltas:
+                self._private_entries += _table_update(
+                    self._right_table, self._right_key(delta.row), delta
+                )
         self.meter.charge_output(self.name, len(out))
         if self.state_factor:
             self.meter.charge_state(self.name, self.state_factor * self.entry_count)
@@ -524,6 +564,96 @@ class JoinExec:
             _count_per_q(right_deltas, self.in_right_per_q)
             _count_per_q(out, self.out_per_q)
         return self.decorations.apply(out, self.meter)
+
+    def _advance_arranged(self, left_deltas, right_deltas, out):
+        """The four-pass advance with arranged sides swapped in.
+
+        Pass order matches the fused/reference paths exactly: probe left
+        against the *old* right state, install left, probe right against
+        the *new* left state, install right.  An arranged side's install
+        is ``advance_to`` on the shared index (a no-op past the first
+        reader of the batch); a private side falls back to the per-tuple
+        reference loops, which emit the same outputs as the fused path.
+        """
+        la = self._left_arranged
+        ra = self._right_arranged
+        if left_deltas:
+            if ra is not None:
+                self._probe_arranged(left_deltas, ra, self._left_index,
+                                     self._left_key, out, left_side=True)
+            else:
+                for delta in left_deltas:
+                    self._probe(delta, self._right_table, self._left_key,
+                                out, left_side=True)
+        if la is not None:
+            la.advance_to(self.left.reader.offset)
+        else:
+            for delta in left_deltas:
+                self._private_entries += _table_update(
+                    self._left_table, self._left_key(delta.row), delta
+                )
+        if right_deltas:
+            if la is not None:
+                self._probe_arranged(right_deltas, la, self._right_index,
+                                     self._right_key, out, left_side=False)
+            else:
+                for delta in right_deltas:
+                    self._probe(delta, self._left_table, self._right_key,
+                                out, left_side=False)
+        if ra is not None:
+            ra.advance_to(self.right.reader.offset)
+        else:
+            for delta in right_deltas:
+                self._private_entries += _table_update(
+                    self._right_table, self._right_key(delta.row), delta
+                )
+
+    @staticmethod
+    def _probe_arranged(deltas, handle, key_index, key_fn, out, left_side):
+        """Probe deltas against an arranged side's current version.
+
+        ``key_index``/``key_fn`` extract the join key from the *probing*
+        side's rows.  The arrangement stores ``key -> {row: net}``
+        without bits: an eligible side's private table would store every
+        row with bits equal to the subplan mask, and every probing delta
+        already has ``bits & mask == bits``, so the output bits are
+        exactly the probing delta's bits — matching :meth:`_probe` bit
+        for bit.
+        """
+        table_get = handle.version.table.get
+        append = out.append
+        extend = out.extend
+        new = _NEW
+        cls = Delta
+        for delta in deltas:
+            row_d = delta.row
+            bits_d = delta.bits
+            if bits_d == 0:
+                continue
+            if key_index is not None:
+                key = row_d[key_index]
+            else:
+                key = key_fn(row_d)
+            matches = table_get(key)
+            if not matches:
+                continue
+            sign_d = delta.sign
+            for other_row, net in matches.items():
+                record = new(cls)
+                if left_side:
+                    record.row = row_d + other_row
+                else:
+                    record.row = other_row + row_d
+                record.bits = bits_d
+                if net > 0:
+                    record.sign = sign_d
+                else:
+                    record.sign = -sign_d
+                    net = -net
+                if net == 1:
+                    append(record)
+                else:
+                    extend([record] * net)
 
     def _probe(self, delta, table, key_fn, out, left_side):
         matches = table.get(key_fn(delta.row))
@@ -543,9 +673,16 @@ class JoinExec:
 
     def state_size(self):
         """Net stored entries (both sides); used by tests and diagnostics."""
-        left = sum(abs(n) for m in self._left_table.values() for n in m.values())
-        right = sum(abs(n) for m in self._right_table.values() for n in m.values())
-        return left + right
+        total = sum(abs(n) for m in self._left_table.values() for n in m.values())
+        total += sum(abs(n) for m in self._right_table.values() for n in m.values())
+        for handle in (self._left_arranged, self._right_arranged):
+            if handle is not None:
+                total += sum(
+                    abs(n)
+                    for m in handle.version.table.values()
+                    for n in m.values()
+                )
+        return total
 
 
 def _key_getter(schema, keys):

@@ -1,0 +1,539 @@
+"""Shared arrangements: one join index per ``(table, key columns)``.
+
+The tentpole contract (docs/ARRANGEMENTS.md): with arrangements on, N
+subplans joining the same base table on the same keys share one index --
+resident join-state entries and index-maintenance operations drop by the
+number of readers -- while query results, execution records and every
+WorkMeter charge stay *bit-identical* to the private-table path.  These
+tests pin the exactness contract on both join backends, the resource
+wins, the multiversioned copy-on-write protocol, and the satellite fixes
+that rode along (columnar join-side compaction, the buffer occupancy
+gauge, warm-started selected-pace scans, the cost model's
+``arranged_state`` knob).
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import obs
+from repro.cost.memo import PlanCostModel
+from repro.cost.model import CostConfig
+from repro.core.split import LocalSplitOptimizer, set_partitions
+from repro.engine.arrangements import (
+    Arrangement,
+    ArrangementStore,
+    arrangeable_side,
+)
+from repro.engine.buffers import Buffer
+from repro.engine.calibrate import calibrate_plan
+from repro.engine.executor import PlanExecutor
+from repro.engine.stream import StreamConfig
+from repro.errors import ExecutionError
+from repro.logical.builder import PlanBuilder
+from repro.mqo.merge import build_unshared_plan
+from repro.obs import OBS
+from repro.physical.hotpath import (
+    clear_compiled_caches,
+    columnar_available,
+    engine_mode,
+)
+from repro.relational.expressions import agg_sum, col
+from repro.relational.tuples import Delta
+from repro.workloads.constraints import uniform_constraints
+
+from .util import make_toy_catalog, shared_plan_for, toy_query_region, toy_query_total
+
+
+def fingerprint(result):
+    """Every numeric surface of a RunResult, exact (no tolerance)."""
+    return {
+        "total_work": result.total_work,
+        "records": [
+            (r.sid, r.fraction, r.work, r.latency_work, r.output_count)
+            for r in result.records
+        ],
+        "subplan_total_work": result.subplan_total_work,
+        "subplan_final_work": result.subplan_final_work,
+        "query_final_work": result.query_final_work,
+        "query_results": result.query_results,
+    }
+
+
+def single_join_queries(catalog, n=4):
+    """N identical-shape events |X| items rollups, one subplan each.
+
+    ``build_unshared_plan`` keeps them separate, so every subplan probes
+    the same two base tables with a private index -- the workload where
+    one shared arrangement replaces N private tables.
+    """
+    return [
+        PlanBuilder.scan(catalog, "events")
+        .join(PlanBuilder.scan(catalog, "items"), "ev_item", "item_id")
+        .aggregate(["item_cat"], [agg_sum(col("qty"), "total")])
+        .as_query(i, "arr_q%d" % i)
+        for i in range(n)
+    ]
+
+
+def add_event_churn(catalog, fraction=0.2, seed=3):
+    """Update-churn on the events table (delete + corrected insert)."""
+    rng = random.Random(seed)
+    events = catalog.get("events")
+    qty = events.schema.index_of("qty")
+    updates = []
+    for row in rng.sample(events.rows, max(1, int(len(events.rows) * fraction))):
+        new_row = list(row)
+        new_row[qty] = float(rng.randint(1, 9))
+        updates.append((row, tuple(new_row)))
+    events.apply_updates(updates, rng=rng)
+    return catalog
+
+
+def run_with(plan, paces, **mode):
+    clear_compiled_caches()
+    with engine_mode(**mode):
+        return PlanExecutor(plan, StreamConfig()).run(paces)
+
+
+@pytest.fixture(scope="module")
+def fanout_setup():
+    catalog = make_toy_catalog(seed=13)
+    queries = single_join_queries(catalog)
+    plan = build_unshared_plan(catalog, queries)
+    paces = dict(zip(sorted(s.sid for s in plan.subplans), (1, 2, 4, 4)))
+    return plan, paces
+
+
+# -- exactness: arranged vs private must be bit-identical --------------------------
+
+
+class TestArrangedExactness:
+    def test_batched_paths_bit_identical(self, fanout_setup):
+        plan, paces = fanout_setup
+        arranged = run_with(plan, paces, batched=True, arrangements=True)
+        private = run_with(plan, paces, batched=True, arrangements=False)
+        assert arranged.metadata["arrangements"] is True
+        assert private.metadata["arrangements"] is False
+        assert fingerprint(arranged) == fingerprint(private)
+
+    def test_reference_path_bit_identical(self, fanout_setup):
+        plan, paces = fanout_setup
+        arranged = run_with(plan, paces, batched=False, arrangements=True)
+        private = run_with(plan, paces, batched=False, arrangements=False)
+        assert fingerprint(arranged) == fingerprint(private)
+
+    @pytest.mark.skipif(not columnar_available(), reason="requires numpy")
+    def test_columnar_paths_bit_identical(self, fanout_setup):
+        plan, paces = fanout_setup
+        arranged = run_with(plan, paces, columnar=True, arrangements=True)
+        private = run_with(plan, paces, columnar=True, arrangements=False)
+        assert fingerprint(arranged) == fingerprint(private)
+
+    def test_mixed_shared_plan_bit_identical(self):
+        # toy shared plan: filtered scans stay private, bare scans share
+        # -- a join can have one arranged and one private side
+        catalog = make_toy_catalog(seed=29)
+        queries = [
+            toy_query_total(catalog, 0),
+            toy_query_region(catalog, 1, region="EU"),
+            toy_query_total(catalog, 2, day_filter=60),
+        ]
+        plan = shared_plan_for(catalog, queries)
+        paces = {
+            s.sid: 2 if s.child_subplans() else 4 for s in plan.subplans
+        }
+        arranged = run_with(plan, paces, batched=True, arrangements=True)
+        private = run_with(plan, paces, batched=True, arrangements=False)
+        assert arranged.metadata["arrangements"] is True
+        assert fingerprint(arranged) == fingerprint(private)
+
+    def test_churned_workload_bit_identical(self):
+        catalog = add_event_churn(make_toy_catalog(seed=17))
+        plan = build_unshared_plan(catalog, single_join_queries(catalog))
+        paces = dict(zip(sorted(s.sid for s in plan.subplans), (2, 3, 6, 1)))
+        arranged = run_with(plan, paces, batched=True, arrangements=True)
+        private = run_with(plan, paces, batched=True, arrangements=False)
+        assert fingerprint(arranged) == fingerprint(private)
+
+
+# -- the resource win: >= 2x fewer resident entries and maintenance ops ------------
+
+
+class TestArrangedSavings:
+    def _join_execs(self, root_exec):
+        stack, found = [root_exec], []
+        while stack:
+            node = stack.pop()
+            if hasattr(node, "_private_entries"):
+                found.append(node)
+            for attr in ("left", "right", "child"):
+                nxt = getattr(node, attr, None)
+                if nxt is not None and hasattr(nxt, "advance"):
+                    stack.append(nxt)
+        return found
+
+    def test_resident_entries_halved_or_better(self, fanout_setup):
+        plan, paces = fanout_setup
+        clear_compiled_caches()
+        with engine_mode(batched=True, reuse_trees=True, arrangements=False):
+            executor = PlanExecutor(plan, StreamConfig())
+            executor.run(paces)
+            _, _, compiled, _, _ = executor._runtime
+            private_resident = sum(
+                join.entry_count
+                for unit in compiled.values()
+                for join in self._join_execs(unit.root_exec)
+            )
+        arranged = run_with(plan, paces, batched=True, arrangements=True)
+        summary = arranged.metadata["arrangement_summary"]
+        assert summary["resident_entries"] > 0
+        assert private_resident >= 2 * summary["resident_entries"]
+
+    def test_maintenance_ops_halved_or_better(self, fanout_setup):
+        plan, paces = fanout_setup
+        arranged = run_with(plan, paces, batched=True, arrangements=True)
+        summary = arranged.metadata["arrangement_summary"]
+        assert summary["maintenance_ops"] > 0
+        assert summary["private_ops"] >= 2 * summary["maintenance_ops"]
+        assert summary["shared_ops_saved"] == (
+            summary["private_ops"] - summary["maintenance_ops"]
+        )
+
+    def test_attribution_is_exact_per_arrangement(self, fanout_setup):
+        plan, paces = fanout_setup
+        arranged = run_with(plan, paces, batched=True, arrangements=True)
+        for info in arranged.metadata["arrangement_summary"]["arrangements"]:
+            shares = info["attribution"]
+            assert len(shares) == info["readers"]
+            assert sum(shares.values()) == pytest.approx(
+                info["maintenance_ops"]
+            )
+
+    def test_kill_switch_disables_sharing(self, fanout_setup):
+        plan, paces = fanout_setup
+        private = run_with(plan, paces, batched=True, arrangements=False)
+        assert private.metadata["arrangements"] is False
+        assert "arrangement_summary" not in private.metadata
+
+
+# -- tree reuse across runs --------------------------------------------------------
+
+
+class TestTreeReuse:
+    def test_reused_tree_matches_fresh(self, fanout_setup):
+        plan, paces = fanout_setup
+        clear_compiled_caches()
+        with engine_mode(batched=True, reuse_trees=True, arrangements=True):
+            executor = PlanExecutor(plan, StreamConfig())
+            first = fingerprint(executor.run(paces))
+            second = fingerprint(executor.run(paces))  # reused tree
+            fresh = fingerprint(PlanExecutor(plan, StreamConfig()).run(paces))
+        assert first == second == fresh
+
+    def test_toggle_flip_recompiles(self, fanout_setup):
+        plan, paces = fanout_setup
+        clear_compiled_caches()
+        with engine_mode(batched=True, reuse_trees=True):
+            executor = PlanExecutor(plan, StreamConfig())
+            with engine_mode(arrangements=True):
+                assert executor.run(paces).metadata["arrangements"] is True
+            with engine_mode(arrangements=False):
+                assert executor.run(paces).metadata["arrangements"] is False
+
+
+# -- the multiversioned copy-on-write protocol, in isolation -----------------------
+
+
+def _delta(key, payload, sign=1):
+    return Delta((key, payload), sign, ~0)
+
+
+class TestArrangementVersions:
+    def _arranged_buffer(self, deltas):
+        buffer = Buffer("t")
+        buffer.append(deltas)
+        return Arrangement("t", (0,), buffer), buffer
+
+    def test_exact_match_shares_a_version(self):
+        arr, _ = self._arranged_buffer([_delta(1, "a"), _delta(2, "b")])
+        h1, h2 = arr.acquire(0, "j1"), arr.acquire(1, "j2")
+        h1.advance_to(2)
+        h2.advance_to(2)
+        assert len(arr.versions) == 1
+        assert h1.version is h2.version
+        assert h1.version.refs == 2
+        # the second reader paid no maintenance: the version was shared
+        assert arr.maintenance_ops == 2
+        assert arr.private_ops == 4
+
+    def test_solo_reader_cannibalizes_in_place(self):
+        arr, _ = self._arranged_buffer(
+            [_delta(1, "a"), _delta(1, "b"), _delta(1, "a", -1)]
+        )
+        (h,) = [arr.acquire(0, "j1")]
+        v1 = h.advance_to(1)
+        v2 = h.advance_to(3)
+        assert v1 is v2  # rolled forward in place, no copy
+        assert len(arr.versions) == 1
+        assert h.version.table == {1: {(1, "b"): 1}}
+        assert h.version.entries == 1
+
+    def test_lagging_reader_clones_copy_on_write(self):
+        arr, _ = self._arranged_buffer(
+            [_delta(1, "a"), _delta(2, "b"), _delta(1, "a", -1)]
+        )
+        h1, h2 = arr.acquire(0, "j1"), arr.acquire(1, "j2")
+        h1.advance_to(2)
+        h2.advance_to(2)
+        shared = h1.version
+        h1.advance_to(3)  # must clone: h2 still reads the shared version
+        assert h1.version is not shared
+        assert shared.table == {1: {(1, "a"): 1}, 2: {(2, "b"): 1}}
+        assert h1.version.table == {2: {(2, "b"): 1}}
+        assert shared.entries == 2 and h1.version.entries == 1
+        assert len(arr.versions) == 2
+        # the laggard catches up onto the existing version and the old
+        # one is pruned
+        h2.advance_to(3)
+        assert h2.version is h1.version
+        assert len(arr.versions) == 1
+
+    def test_backwards_advance_raises(self):
+        arr, _ = self._arranged_buffer([_delta(1, "a"), _delta(2, "b")])
+        h = arr.acquire(0, "j1")
+        h.advance_to(2)
+        with pytest.raises(ExecutionError):
+            h.advance_to(1)
+
+    def test_acquire_after_advance_raises(self):
+        arr, _ = self._arranged_buffer([_delta(1, "a")])
+        h = arr.acquire(0, "j1")
+        h.advance_to(1)
+        with pytest.raises(ExecutionError):
+            arr.acquire(1, "j2")
+
+    def test_reader_pin_blocks_compaction(self):
+        arr, buffer = self._arranged_buffer([_delta(1, "a"), _delta(2, "b")])
+        consumer = buffer.reader()
+        consumer.read_new()
+        h1, h2 = arr.acquire(0, "j1"), arr.acquire(1, "j2")
+        h1.advance_to(2)
+        assert buffer.compact() == 0  # h2's version still needs offset 0
+        h2.advance_to(2)
+        assert buffer.compact() == 2
+
+    def test_attribution_sums_exactly(self):
+        arr, _ = self._arranged_buffer(
+            [_delta(k, "p") for k in range(7)]
+        )
+        h1, h2 = arr.acquire(0, "j1"), arr.acquire(1, "j2")
+        h1.advance_to(7)
+        h2.advance_to(3)
+        shares = arr.attribution()
+        assert sum(shares.values(), Fraction(0)) == arr.maintenance_ops
+        assert shares[0] > shares[1]  # weighted by advanced span
+
+    def test_reset_restores_pristine_state(self):
+        arr, buffer = self._arranged_buffer([_delta(1, "a"), _delta(2, "b")])
+        h1, h2 = arr.acquire(0, "j1"), arr.acquire(1, "j2")
+        h1.advance_to(2)
+        h2.advance_to(1)
+        arr.reset()
+        assert list(arr.versions) == [0]
+        assert arr.versions[0].refs == 2
+        assert h1.version is arr.versions[0] is h2.version
+        assert arr.maintenance_ops == arr.private_ops == 0
+        # the executor resets buffers alongside the store, then the
+        # streams re-feed them; a fresh advance sees the replayed log
+        buffer.reset()
+        buffer.append([_delta(1, "a"), _delta(2, "b")])
+        assert h1.advance_to(2).table == {
+            1: {(1, "a"): 1}, 2: {(2, "b"): 1}
+        }
+
+    def test_store_deduplicates_by_table_and_keys(self):
+        store = ArrangementStore()
+        buffer = Buffer("t")
+        h1 = store.handle("t", (0,), buffer, 0, "j1")
+        h2 = store.handle("t", (0,), buffer, 1, "j2")
+        h3 = store.handle("t", (1,), buffer, 0, "j3")
+        assert h1.arrangement is h2.arrangement
+        assert h3.arrangement is not h1.arrangement
+        assert len(store) == 2
+
+
+class TestArrangeableSide:
+    def test_bare_scan_sides_are_eligible(self, fanout_setup):
+        plan, _ = fanout_setup
+        join = next(
+            node
+            for subplan in plan.subplans
+            for node in subplan.root.walk()
+            if node.kind == "join"
+        )
+        assert arrangeable_side(join, 0) == ("events", (0,))
+        assert arrangeable_side(join, 1) == ("items", (0,))
+
+    def test_filtered_scan_is_not_eligible(self):
+        catalog = make_toy_catalog(seed=31)
+        query = toy_query_total(catalog, 0, day_filter=50)
+        plan = build_unshared_plan(catalog, [query])
+        joins = [
+            node
+            for node in plan.subplans[0].root.walk()
+            if node.kind == "join"
+        ]
+        for join in joins:
+            for side in (0, 1):
+                child = join.children[side]
+                eligible = arrangeable_side(join, side)
+                if child.kind == "source" and child.filters:
+                    assert eligible is None
+                if child.kind == "join":
+                    assert eligible is None
+
+
+# -- satellite: columnar join-side compaction under churn --------------------------
+
+
+@pytest.mark.skipif(not columnar_available(), reason="requires numpy")
+class TestColumnarSideCompaction:
+    def _sides(self, executor):
+        _, _, compiled, _, _ = executor._runtime
+        for unit in compiled.values():
+            stack = [unit.root_exec]
+            while stack:
+                node = stack.pop()
+                for attr in ("_left_state", "_right_state"):
+                    state = getattr(node, attr, None)
+                    if state is not None:
+                        yield state
+                for attr in ("left", "right", "child"):
+                    nxt = getattr(node, attr, None)
+                    if nxt is not None and hasattr(nxt, "advance"):
+                        stack.append(nxt)
+
+    def test_dead_slots_stay_bounded(self):
+        catalog = add_event_churn(make_toy_catalog(seed=41), fraction=0.6)
+        plan = build_unshared_plan(catalog, single_join_queries(catalog, 2))
+        paces = {s.sid: 3 for s in plan.subplans}
+        clear_compiled_caches()
+        with engine_mode(columnar=True, reuse_trees=True, arrangements=False):
+            executor = PlanExecutor(plan, StreamConfig())
+            run = executor.run(paces)
+            sides = list(self._sides(executor))
+        assert sides, "no columnar join sides compiled"
+        for state in sides:
+            # before the fix the raw delta chunks grew without bound;
+            # compaction now keeps dead slots below the live count (plus
+            # the trigger threshold)
+            assert state.dead <= max(32, state.live)
+        # compaction preserved per-key probe order: still bit-identical
+        # to the batched row path
+        batched = run_with(plan, paces, batched=True, arrangements=False)
+        assert fingerprint(run) == fingerprint(batched)
+
+
+# -- satellite: buffer occupancy gauge refreshes on compaction ---------------------
+
+
+class TestOccupancyGauge:
+    @pytest.fixture(autouse=True)
+    def _clean_session(self):
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_compact_refreshes_the_gauge(self):
+        obs.enable()
+        buffer = Buffer("churny")
+        buffer.append([_delta(k, "p") for k in range(10)])
+        reader = buffer.reader()
+        reader.read_new()
+        gauge = OBS.metrics.gauge("engine.buffer.occupancy", buffer="churny")
+        assert gauge.value == 10
+        assert buffer.compact() == 10
+        # the stale-gauge bug: this kept reading 10 after compaction
+        assert gauge.value == 0
+        assert gauge.max == 10
+
+
+# -- satellite: warm-started selected-pace scans -----------------------------------
+
+
+class TestWarmStartedSelectedPace:
+    def _splitter(self, **kwargs):
+        catalog = make_toy_catalog(seed=23)
+        queries = [
+            toy_query_total(catalog, 0),
+            toy_query_region(catalog, 1, region="EU"),
+            toy_query_region(catalog, 2, region="US"),
+        ]
+        plan = shared_plan_for(catalog, queries)
+        calibrate_plan(plan, StreamConfig())
+        model = PlanCostModel(plan, CostConfig())
+        absolute = model.absolute_constraints(
+            uniform_constraints(plan.query_ids(), 0.2)
+        )
+        target = max(plan.subplans, key=lambda s: len(s.query_ids()))
+        assert len(target.query_ids()) >= 2
+        paces = {s.sid: 1 for s in plan.subplans}
+        inputs = model.evaluate(paces, collect_inputs=True)
+        return LocalSplitOptimizer(
+            target,
+            inputs.subplan_inputs[target.sid],
+            model.local_constraints(target, absolute),
+            max_pace=12,
+            **kwargs,
+        )
+
+    def test_verified_warm_start_agrees_with_cold_scan(self):
+        # verify_warm_start re-runs every warm scan from pace 1 and
+        # raises on divergence -- the monotonicity assertion itself
+        verified = self._splitter(verify_warm_start=True)
+        decision = verified.brute_force()
+        plain = self._splitter()
+        assert plain.brute_force().partitions == decision.partitions
+
+    def test_warm_start_saves_simulations(self):
+        warm = self._splitter()
+        warm_decision = warm.brute_force()
+
+        cold = self._splitter()
+        best = None
+        for partition_set in set_partitions(cold.queries):
+            total = sum(
+                cold.selected_pace(part, 1)[1] for part in partition_set
+            )
+            if best is None or total < best:
+                best = total
+        assert best == pytest.approx(warm_decision.local_total_work)
+        assert warm.simulations <= cold.simulations
+
+
+# -- satellite: the cost model's arranged_state knob -------------------------------
+
+
+class TestCostModelArrangedState:
+    def _totals(self, **config_kwargs):
+        catalog = make_toy_catalog(seed=37)
+        plan = build_unshared_plan(catalog, single_join_queries(catalog))
+        calibrate_plan(plan, StreamConfig())
+        model = PlanCostModel(plan, CostConfig(**config_kwargs))
+        paces = {s.sid: 2 for s in plan.subplans}
+        return model.evaluate(paces).total_work
+
+    def test_arranged_state_lowers_simulated_state_charge(self):
+        default = self._totals(state_factor=0.3)
+        arranged = self._totals(state_factor=0.3, arranged_state=True)
+        assert arranged < default
+
+    def test_no_state_factor_means_no_difference(self):
+        default = self._totals(state_factor=0.0)
+        arranged = self._totals(state_factor=0.0, arranged_state=True)
+        assert arranged == default
+
+    def test_default_config_keeps_the_knob_off(self):
+        assert CostConfig().arranged_state is False

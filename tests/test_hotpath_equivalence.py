@@ -77,11 +77,12 @@ class TestFig11BitIdentity:
         plan, paces = fig11_setup
         baseline = fingerprint(
             run_with(plan, paces, batched=False, compile_cache=False,
-                     reuse_trees=False)
+                     reuse_trees=False, arrangements=False)
         )
-        for toggle in ("batched", "compile_cache", "reuse_trees"):
+        for toggle in ("batched", "compile_cache", "reuse_trees",
+                       "arrangements"):
             mode = {"batched": False, "compile_cache": False,
-                    "reuse_trees": False, toggle: True}
+                    "reuse_trees": False, "arrangements": False, toggle: True}
             assert fingerprint(run_with(plan, paces, **mode)) == baseline, toggle
 
     def test_uniform_pace_identity(self, fig11_setup):
