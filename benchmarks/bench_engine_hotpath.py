@@ -25,7 +25,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_engine_hotpath.py [--quick]
         [--output PATH] [--columnar-output PATH]
         [--arrangements-output PATH] [--scale S] [--repeat N] [--seed S]
-        [--check]
+        [--jobs N] [--check]
 
 This is a standalone script (not a pytest-benchmark module) so CI can run
 it directly and archive the JSON artifacts.
@@ -44,6 +44,7 @@ sys.path.insert(
 )
 
 from repro.engine.executor import PlanExecutor  # noqa: E402
+from repro.engine.parallel import plan_components, run_parallel  # noqa: E402
 from repro.engine.stream import StreamConfig  # noqa: E402
 from repro.logical.builder import PlanBuilder  # noqa: E402
 from repro.mqo.merge import MQOOptimizer, build_unshared_plan  # noqa: E402
@@ -247,11 +248,15 @@ def bench_filter_project(n, batches, repeat):
 
     # SourceExec reads via reader.read_new(); adapt the feed
     class _ReaderFeed(_Feed):
+        offset = 0  # logical span cursor (cache_view keys go unused here)
+
         def read_new(self):
             return self.advance()
 
         def read_new_segments(self):
-            return self.advance(), []
+            batch = self.advance()
+            self.offset += len(batch)
+            return batch, []
 
     def make_source():
         feed = _ReaderFeed(feed_batches)
@@ -442,7 +447,7 @@ def bench_consolidate(n, repeat):
 
 
 def bench_end_to_end(scale, repeat, seed=5, fraction=0.25,
-                     pace_parent=1, pace_leaf=3):
+                     pace_parent=1, pace_leaf=3, jobs=1):
     """fig11-shaped run: shared plan over all 22 queries, mixed paces.
 
     The default regime (25% update fraction, paces 1/3) is a point on
@@ -493,6 +498,39 @@ def bench_end_to_end(scale, repeat, seed=5, fraction=0.25,
             if results["columnar"]["seconds"] > 0 else None
         )
 
+    components = plan_components(plan)
+    if jobs > 1 and len(components) > 1 and columnar_available():
+        # intra-trigger parallelism: independent subplan components in
+        # worker processes (repro.engine.parallel); the leg first asserts
+        # bit-identity against the serial run, then times the fan-out
+        clear_compiled_caches()
+        with engine_mode(batched=True, compile_cache=True, reuse_trees=True,
+                         columnar=True):
+            serial_probe = PlanExecutor(plan, config).run(paces)
+            parallel_probe = run_parallel(plan, paces, config, jobs=jobs)
+            if _run_fingerprint(serial_probe) != _run_fingerprint(
+                parallel_probe
+            ):
+                raise AssertionError(
+                    "serial and --jobs %d runs diverged -- the determinism "
+                    "contract is broken; do not trust these numbers" % jobs
+                )
+            seconds = _timed(
+                lambda: run_parallel(
+                    plan, paces, config, jobs=jobs, collect_results=False
+                ),
+                repeat,
+            )
+        results["columnar_parallel"] = {
+            "seconds": seconds,
+            "jobs": jobs,
+            "serial_identical": True,
+            "vs_serial_columnar": (
+                results["columnar"]["seconds"] / seconds
+                if seconds > 0 else None
+            ),
+        }
+
     # compiled-plan reuse: repeated runs on one executor vs fresh executors
     runs = 4
     clear_compiled_caches()
@@ -528,8 +566,180 @@ def bench_end_to_end(scale, repeat, seed=5, fraction=0.25,
         "pace_parent": pace_parent,
         "pace_leaf": pace_leaf,
         "paces": sorted(set(paces.values())),
+        "components": len(components),
     }
     return results
+
+
+def bench_probe_crossover(repeat, total=32_768,
+                          batch_sizes=(32, 64, 128, 256, 512, 1024)):
+    """Scalar-vs-vectorized join probe crossover sweep.
+
+    The columnar join picks its probe strategy per delta batch:
+    batches at or below ``SCALAR_PROBE_MAX`` rows run the scalar
+    dict-loop probe, larger ones the arange/repeat vectorized probe
+    (``REPRO_SCALAR_PROBE_MAX`` overrides, 0 forces vectorized).  This
+    leg forces each strategy across per-advance batch sizes on the join
+    micro's distinct-row shape and reports where vectorization starts
+    winning -- the measurement behind the shipped default.
+    """
+    from repro.physical import columnar as columnar_mod
+
+    left_schema = Schema.of("k", "x")
+    right_schema = Schema.of("k2", "y")
+    node = OpNode(
+        "join",
+        children=[
+            _source_node(left_schema, mask=0b11),
+            _source_node(right_schema, mask=0b11),
+        ],
+        left_keys=["k"], right_keys=["k2"], query_mask=0b11,
+    )
+
+    points = []
+    for per_batch in batch_sizes:
+        batches = max(2, total // (2 * per_batch))
+        n_keys = max(64, (per_batch * batches) // 32)
+        left_batches = [
+            [
+                Delta((i % n_keys, (i * 7) % 9973), INSERT,
+                      0b11 if i % 3 else 0b01)
+                for i in range(b * per_batch, (b + 1) * per_batch)
+            ]
+            for b in range(batches)
+        ]
+        right_batches = [
+            [
+                Delta(((i * 5) % n_keys, -((i * 11) % 9973)), INSERT,
+                      0b11 if i % 2 else 0b10)
+                for i in range(b * per_batch, (b + 1) * per_batch)
+            ]
+            for b in range(batches)
+        ]
+        left_columnar = _columnar_feed_batches(left_batches, 2)
+        right_columnar = _columnar_feed_batches(right_batches, 2)
+
+        def make():
+            left = _Feed(left_columnar)
+            right = _Feed(right_columnar)
+            op = _columnar_execs()[1](
+                node, left, right, WorkMeter(), state_factor=0.3
+            )
+            return _Harness(op, [left, right])
+
+        def drain():
+            harness = make()
+            while True:
+                harness.advance()
+                if not harness._feeds_pending():
+                    break
+
+        legs = {}
+        for label, probe_max in (("scalar", 1 << 30), ("vectorized", 0)):
+            saved = columnar_mod.SCALAR_PROBE_MAX
+            columnar_mod.SCALAR_PROBE_MAX = probe_max
+            try:
+                clear_compiled_caches()
+                with engine_mode(batched=True, compile_cache=True,
+                                 columnar=True):
+                    legs[label] = _timed(drain, repeat)
+            finally:
+                columnar_mod.SCALAR_PROBE_MAX = saved
+        points.append({
+            "batch_rows": per_batch,
+            "scalar_seconds": legs["scalar"],
+            "vectorized_seconds": legs["vectorized"],
+            "vectorized_vs_scalar": (
+                legs["scalar"] / legs["vectorized"]
+                if legs["vectorized"] > 0 else None
+            ),
+        })
+
+    crossover = next(
+        (
+            point["batch_rows"]
+            for point in points
+            if point["vectorized_vs_scalar"] is not None
+            and point["vectorized_vs_scalar"] >= 1.0
+        ),
+        None,
+    )
+    return {
+        "points": points,
+        "crossover_batch_rows": crossover,
+        "default_scalar_probe_max": columnar_mod.SCALAR_PROBE_MAX,
+        "env_override": "REPRO_SCALAR_PROBE_MAX",
+    }
+
+
+#: profiled-share buckets for the overhead breakdown, by code location
+_BREAKDOWN_BUCKETS = (
+    # operator kernels: columnar/fused/batched operator code plus numpy
+    ("kernel", ("/repro/physical/", "/numpy/", "<fused:")),
+    # row<->column boundary: ColumnBatch materialization and conversion
+    ("boundary_materialization", ("/repro/engine/columns",)),
+    # scheduling, buffers, streams, metering around the kernels
+    ("plan_driver", ("/repro/engine/", "/repro/mqo/", "/repro/relational/")),
+)
+
+
+def bench_e2e_overhead_breakdown(scale, seed=5, fraction=0.25,
+                                 pace_parent=1, pace_leaf=3):
+    """Where one columnar fig11 run spends its time (profiled shares).
+
+    Profiles a single warmed end-to-end run under ``cProfile`` and
+    buckets per-function self time into kernel work, row<->column
+    boundary materialization, and plan-driver overhead.  The absolute
+    seconds carry instrumentation overhead (roughly 2x wall clock); the
+    *shares* are what this leg is for -- they say which layer to attack
+    next, and how much boundary cost the columnar-native buffer
+    passthrough still leaves behind.
+    """
+    import cProfile
+    import pstats
+
+    catalog = generate_catalog(scale=scale, seed=seed)
+    add_lineitem_updates(catalog, fraction=fraction, seed=seed + 6)
+    queries = build_workload(catalog, ALL_QUERY_NAMES)
+    plan = MQOOptimizer(catalog).build_shared_plan(queries)
+    paces = {
+        subplan.sid: pace_parent if subplan.child_subplans() else pace_leaf
+        for subplan in plan.subplans
+    }
+    config = StreamConfig()
+
+    clear_compiled_caches()
+    with engine_mode(batched=True, compile_cache=True, reuse_trees=True,
+                     columnar=True):
+        executor = PlanExecutor(plan, config)
+        executor.run(paces, collect_results=False)  # warm the tree
+        profile = cProfile.Profile()
+        profile.enable()
+        executor.run(paces, collect_results=False)
+        profile.disable()
+
+    buckets = {name: 0.0 for name, _ in _BREAKDOWN_BUCKETS}
+    buckets["other"] = 0.0
+    total = 0.0
+    for (filename, _, _), entry in pstats.Stats(profile).stats.items():
+        self_seconds = entry[2]
+        total += self_seconds
+        for name, needles in _BREAKDOWN_BUCKETS:
+            if any(needle in filename for needle in needles):
+                buckets[name] += self_seconds
+                break
+        else:
+            buckets["other"] += self_seconds
+
+    return {
+        "profiled_seconds": total,
+        "seconds": {name: seconds for name, seconds in buckets.items()},
+        "shares": {
+            name: (seconds / total if total > 0 else None)
+            for name, seconds in buckets.items()
+        },
+        "note": "self time under cProfile; read the shares, not the seconds",
+    }
 
 
 def _arrangement_catalog(n_events, seed):
@@ -685,6 +895,14 @@ def _columnar_report(report):
             "workload": e2e["workload"],
         },
     }
+    if "columnar_parallel" in e2e:
+        extract["end_to_end_fig11"]["columnar_parallel"] = (
+            e2e["columnar_parallel"]
+        )
+    if "probe_crossover" in report:
+        extract["probe_crossover"] = report["probe_crossover"]
+    if "e2e_overhead_breakdown" in report:
+        extract["e2e_overhead_breakdown"] = report["e2e_overhead_breakdown"]
     return extract
 
 
@@ -710,6 +928,9 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=5,
                         help="catalog seed for the end-to-end section "
                              "(updates stream uses seed+6)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the intra-trigger "
+                             "parallel end-to-end leg (1 = serial only)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -775,9 +996,29 @@ def main(argv=None):
     report["micro"]["consolidate"] = case
     print("  %-22s %9.0f/s" % ("consolidate", case["deltas_per_sec"]))
 
+    if columnar_available():
+        print("columnar probe crossover sweep")
+        crossover = bench_probe_crossover(repeat)
+        report["probe_crossover"] = crossover
+        for point in crossover["points"]:
+            print(
+                "  %5d rows/batch: scalar %.4fs  vectorized %.4fs (%.2fx)"
+                % (
+                    point["batch_rows"],
+                    point["scalar_seconds"],
+                    point["vectorized_seconds"],
+                    point["vectorized_vs_scalar"],
+                )
+            )
+        print(
+            "  crossover at %s rows (shipped default %d)"
+            % (crossover["crossover_batch_rows"],
+               crossover["default_scalar_probe_max"])
+        )
+
     print("end-to-end fig11 workload (scale %.2f, seed %d)"
           % (scale, args.seed))
-    e2e = bench_end_to_end(scale, repeat, seed=args.seed)
+    e2e = bench_end_to_end(scale, repeat, seed=args.seed, jobs=args.jobs)
     report["end_to_end_fig11"] = e2e
     print(
         "  wall clock: %.3fs batched  %.3fs reference  %.2fx"
@@ -791,6 +1032,27 @@ def main(argv=None):
         print(
             "  columnar:   %.3fs (%.2fx vs batched)"
             % (e2e["columnar"]["seconds"], e2e["columnar_vs_batched"])
+        )
+    if "columnar_parallel" in e2e:
+        par = e2e["columnar_parallel"]
+        print(
+            "  --jobs %d:   %.3fs (%.2fx vs serial columnar, bit-identical)"
+            % (par["jobs"], par["seconds"], par["vs_serial_columnar"])
+        )
+
+    if columnar_available():
+        breakdown = bench_e2e_overhead_breakdown(scale, seed=args.seed)
+        report["e2e_overhead_breakdown"] = breakdown
+        shares = breakdown["shares"]
+        print(
+            "  overhead breakdown (profiled shares): kernel %.0f%%  "
+            "boundary %.0f%%  driver %.0f%%  other %.0f%%"
+            % (
+                100 * shares["kernel"],
+                100 * shares["boundary_materialization"],
+                100 * shares["plan_driver"],
+                100 * shares["other"],
+            )
         )
     print(
         "  plan reuse (%d runs): %.3fs reused  %.3fs fresh  %.2fx"
@@ -856,7 +1118,7 @@ def main(argv=None):
         )
         status = 1
     if columnar_available():
-        columnar_floor = 1.5
+        columnar_floor = 2.5
         low = {
             name: case["columnar_vs_batched"]
             for name, case in report["micro"].items()

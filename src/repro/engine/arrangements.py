@@ -45,8 +45,12 @@ The kill switch ``REPRO_ENGINE_NO_ARRANGEMENTS=1`` (or
 which is kept as the work/result oracle.
 """
 
+from operator import attrgetter
+
 from ..errors import ExecutionError
 from ..mqo.nodes import TableRef
+
+_ROW_SIGN = attrgetter("row", "sign")
 
 __all__ = [
     "Arrangement",
@@ -224,26 +228,37 @@ class Arrangement:
         return version
 
     def _apply(self, version, target):
-        """Apply log deltas ``[version.offset, target)`` to ``version``."""
+        """Apply log deltas ``[version.offset, target)`` to ``version``.
+
+        Reads through :meth:`~repro.engine.buffers.Buffer.span_entries`,
+        which serves pending columnar segments directly -- the
+        columnar-native ingest path never pays a Delta round-trip just
+        to maintain an arrangement.
+        """
         buffer = self.buffer
-        if buffer._pending:
-            buffer.materialize()
-        start = version.offset - buffer.base
-        stop = target - buffer.base
-        if start < 0:
+        if version.offset < buffer.base:
             raise ExecutionError(
                 "arrangement %r version @%d is behind the compaction "
                 "horizon (base %d)"
                 % (self.table_name, version.offset, buffer.base)
             )
-        deltas = buffer.deltas[start:stop]
+        start = version.offset - buffer.base
+        stop = target - buffer.base
+        if stop <= len(buffer.deltas):
+            # span fully materialized: iterate the deltas in place
+            # (C-speed attrgetter, no intermediate pair list)
+            span = buffer.deltas[start:stop]
+            count = len(span)
+            entries_span = map(_ROW_SIGN, span)
+        else:
+            entries_span = buffer.span_entries(version.offset, target)
+            count = len(entries_span)
         table = version.table
         owned = version.owned
         key_index = self.key_index
         key_indexes = self.key_indexes
         entries = version.entries
-        for delta in deltas:
-            row = delta.row
+        for row, sign in entries_span:
             if key_index is not None:
                 key = row[key_index]
             else:
@@ -256,7 +271,7 @@ class Arrangement:
                 inner = table[key] = dict(inner)  # clone-on-first-write
                 owned.add(key)
             previous = inner.get(row, 0)
-            net = previous + delta.sign
+            net = previous + sign
             if net == 0:
                 del inner[row]
                 if not inner:
@@ -269,7 +284,7 @@ class Arrangement:
                     entries += 1
         version.entries = entries
         version.offset = target
-        self.maintenance_ops += len(deltas)
+        self.maintenance_ops += count
 
     def _prune(self):
         versions = self.versions

@@ -34,7 +34,9 @@ class Buffer:
     """
 
     __slots__ = ("name", "deltas", "base", "pinned", "_readers",
-                 "_pending", "_pending_len")
+                 "_pending", "_pending_len", "view_cache")
+
+    _VIEW_CACHE_LIMIT = 8
 
     def __init__(self, name):
         self.name = name
@@ -44,6 +46,24 @@ class Buffer:
         self._readers = []
         self._pending = []  # [(start offset, ColumnBatch)], tail order
         self._pending_len = 0
+        #: per-span memo for derived read views, keyed ``(start, end,
+        #: tag)``.  Consumers at the same offset reading the same span
+        #: (pace-aligned parents of one child, the many scans of one base
+        #: table) share one consolidated/concatenated batch instead of
+        #: each rebuilding it.  Logical content of a span never changes
+        #: after append, so entries stay valid across ``compact()`` and
+        #: ``materialize()``; the dict is bounded and cleared wholesale.
+        self.view_cache = {}
+
+    def cache_view(self, key, builder):
+        """Get-or-build a derived view of one logical span (see above)."""
+        cache = self.view_cache
+        view = cache.get(key)
+        if view is None:
+            if len(cache) >= self._VIEW_CACHE_LIMIT:
+                cache.clear()
+            view = cache[key] = builder()
+        return view
 
     def append(self, deltas):
         if self._pending:
@@ -133,12 +153,53 @@ class Buffer:
             ).set(len(self.deltas) + self._pending_len)
         return drop
 
+    def span_entries(self, start, stop):
+        """``(row, sign)`` pairs for logical offsets ``[start, stop)``.
+
+        Serves maintenance consumers (shared arrangements) that need raw
+        rows but not bitvectors, without forcing pending columnar
+        segments through the Delta round-trip: the materialized prefix
+        is sliced, segment overlaps are read straight off the batches.
+        """
+        if stop <= start:
+            return []
+        rel_start = start - self.base
+        if rel_start < 0:
+            raise ExecutionError(
+                "span [%d, %d) of %r is behind the compaction horizon "
+                "(base %d)" % (start, stop, self.name, self.base)
+            )
+        out = []
+        deltas = self.deltas
+        materialized_end = self.base + len(deltas)
+        if rel_start < len(deltas):
+            for delta in deltas[rel_start:stop - self.base]:
+                out.append((delta.row, delta.sign))
+        for seg_start, batch in self._pending:
+            seg_end = seg_start + len(batch)
+            if seg_end <= start or seg_start >= stop:
+                continue
+            lo = max(start, seg_start) - seg_start
+            hi = min(stop, seg_end) - seg_start
+            rows = batch.rows()
+            out.extend(zip(rows[lo:hi], batch.signs[lo:hi].tolist()))
+        expected = stop - max(start, self.base)
+        if len(out) != expected:
+            raise ExecutionError(
+                "span [%d, %d) of %r is not contiguous (%d of %d entries; "
+                "materialized through %d)"
+                % (start, stop, self.name, len(out), expected,
+                   materialized_end)
+            )
+        return out
+
     def reset(self):
         """Empty the log and rewind every registered reader (tree reuse)."""
         self.deltas.clear()
         self.base = 0
         self._pending = []
         self._pending_len = 0
+        self.view_cache.clear()
         for reader in self._readers:
             reader.offset = 0
 

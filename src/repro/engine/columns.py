@@ -101,20 +101,36 @@ class ColumnBatch:
     """One delta batch as (lazy) struct-of-arrays.
 
     ``signs`` and ``bits`` are always parallel int64 arrays.  The row
-    columns live in one of two states:
+    columns live in one of four states:
 
     * **column-backed** -- ``_columns`` is a tuple of per-column arrays
       (the output of a vectorized kernel);
     * **row-backed** -- ``_columns`` is None and ``_rows`` holds the
       Python row tuples; individual columns materialize on first access
-      via :meth:`column` and are cached.
+      via :meth:`column` and are cached;
+    * **gather-backed** -- ``_gather`` holds ``(source, rows, indices)``
+      parts side by side (the vectorized join emits its output as index
+      views over the probe batch and the state arrays); a column
+      materializes as ``source column fancy-indexed by the part's
+      indices``, exactly the arrays the eager gather produced, but only
+      for columns a consumer actually reads;
+    * **chunk-backed** -- ``_chunks`` holds consumed batches stacked
+      vertically (:func:`concat_batches` over lazy inputs); a column
+      materializes as the dtype-safe concat of the chunks' columns.
+
+    The lazy states compose (a gather part may itself be lazy, chunks
+    may hold gathers), so a join-over-join pipeline materializes nothing
+    until a sink, an aggregate input read, or a state install asks for
+    rows -- the top-level ``signs``/``bits`` arrays are always eager and
+    authoritative (backing chunks' own signs/bits are never consulted).
 
     Query bitvectors fit int64 because the executor only dispatches to
     the columnar backend when every query id is below 62 (``~0`` table
     bitvectors are ``-1``, which ANDs correctly in two's complement).
     """
 
-    __slots__ = ("_columns", "signs", "bits", "_rows", "width", "_col_cache")
+    __slots__ = ("_columns", "signs", "bits", "_rows", "width",
+                 "_col_cache", "_gather", "_chunks")
 
     def __init__(self, columns, signs, bits):
         self._columns = columns
@@ -123,6 +139,8 @@ class ColumnBatch:
         self._rows = None
         self.width = len(columns)
         self._col_cache = None
+        self._gather = None
+        self._chunks = None
 
     def __len__(self):
         return len(self.signs)
@@ -144,6 +162,50 @@ class ColumnBatch:
         batch._rows = rows
         batch.width = width
         batch._col_cache = None
+        batch._gather = None
+        batch._chunks = None
+        return batch
+
+    @classmethod
+    def from_gather(cls, parts, signs, bits, width):
+        """A gather-backed batch: an index view over one or more sources.
+
+        Each part is ``(source, rows, indices)`` -- ``source`` is a
+        :class:`ColumnBatch` or a plain tuple of column arrays,
+        ``rows`` an optional parallel list of Python row tuples for the
+        tuple-of-arrays case, and ``indices`` an int64 array into the
+        source.  Parts contribute their columns side by side in order.
+        Sources must be snapshots (append-only or reassigned-on-change,
+        never mutated in place) so the view stays valid after emission.
+        """
+        batch = cls.__new__(cls)
+        batch._columns = None
+        batch.signs = signs
+        batch.bits = bits
+        batch._rows = None
+        batch.width = width
+        batch._col_cache = None
+        batch._gather = parts
+        batch._chunks = None
+        return batch
+
+    @classmethod
+    def from_chunks(cls, chunks, signs, bits, width):
+        """A chunk-backed batch: ``chunks`` stacked vertically, lazily.
+
+        ``signs``/``bits`` are the authoritative top-level arrays (the
+        chunks' own may be stale after ``with_bits``); chunks are only
+        consulted for row/column content.
+        """
+        batch = cls.__new__(cls)
+        batch._columns = None
+        batch.signs = signs
+        batch.bits = bits
+        batch._rows = None
+        batch.width = width
+        batch._col_cache = None
+        batch._gather = None
+        batch._chunks = chunks
         return batch
 
     @classmethod
@@ -165,18 +227,23 @@ class ColumnBatch:
         per batch)."""
         columns = self._columns
         if columns is None:
+            rows = self._rows
             if not self.width:
                 columns = ()
-            elif not self._rows:
+            elif rows is not None and not rows:
                 columns = tuple(
                     np.empty(0, dtype=object) for _ in range(self.width)
                 )
-            else:
+            elif rows is not None:
                 cache = self._col_cache or {}
-                cols = zip(*self._rows)
+                cols = zip(*rows)
                 columns = tuple(
                     cache[i] if i in cache else column_array(col)
                     for i, col in enumerate(cols)
+                )
+            else:
+                columns = tuple(
+                    self.column(i) for i in range(self.width)
                 )
             self._columns = columns
             self._col_cache = None
@@ -192,8 +259,31 @@ class ColumnBatch:
             cache = self._col_cache = {}
         arr = cache.get(i)
         if arr is None:
-            arr = cache[i] = column_array([row[i] for row in self._rows])
+            arr = cache[i] = self._build_column(i)
         return arr
+
+    def _build_column(self, i):
+        gather = self._gather
+        if gather is not None:
+            offset = 0
+            for source, _rows, indices in gather:
+                part_width = (
+                    source.width if type(source) is ColumnBatch
+                    else len(source)
+                )
+                if i < offset + part_width:
+                    local = i - offset
+                    base = (
+                        source.column(local)
+                        if type(source) is ColumnBatch else source[local]
+                    )
+                    return base[indices]
+                offset += part_width
+            raise IndexError(i)
+        chunks = self._chunks
+        if chunks is not None:
+            return concat_columns([chunk.column(i) for chunk in chunks])
+        return column_array([row[i] for row in self._rows])
 
     def column_values(self, i):
         """One column as a Python-typed list (no array detour when the
@@ -201,13 +291,44 @@ class ColumnBatch:
         rows = self._rows
         if rows is not None:
             return [row[i] for row in rows]
-        return self._columns[i].tolist()
+        return self.column(i).tolist()
 
     def rows(self):
         """Python-typed row tuples (cached per batch)."""
         rows = self._rows
         if rows is None:
-            if self._columns:
+            gather = self._gather
+            chunks = self._chunks
+            if gather is not None:
+                parts = []
+                for source, src_rows, indices in gather:
+                    idx = indices.tolist()
+                    if type(source) is ColumnBatch:
+                        src = source.rows()
+                        parts.append([src[k] for k in idx])
+                    elif src_rows is not None:
+                        parts.append([src_rows[k] for k in idx])
+                    elif not len(source):
+                        parts.append([()] * len(idx))
+                    else:
+                        zipped = list(
+                            zip(*(c.tolist() for c in source))
+                        )
+                        parts.append([zipped[k] for k in idx])
+                if len(parts) == 1:
+                    rows = parts[0]
+                elif len(parts) == 2:
+                    rows = [a + b for a, b in zip(parts[0], parts[1])]
+                else:
+                    rows = [
+                        tuple(v for part in row_parts for v in part)
+                        for row_parts in zip(*parts)
+                    ]
+            elif chunks is not None:
+                rows = []
+                for chunk in chunks:
+                    rows.extend(chunk.rows())
+            elif self._columns:
                 rows = list(zip(*(c.tolist() for c in self._columns)))
             else:
                 rows = [()] * len(self.signs)
@@ -217,19 +338,68 @@ class ColumnBatch:
     def take(self, indices):
         """Row subset by index array (columns, signs and bits together).
 
-        Row-backed batches gather rows and stay row-backed; column-backed
-        batches gather arrays.
+        Row-backed batches gather rows and stay row-backed; gather views
+        compose indices; chunk stacks split at chunk boundaries (take
+        callers pass ascending index arrays -- ``np.flatnonzero``
+        masks); column-backed batches gather arrays.
         """
         if self._columns is None:
             rows = self._rows
-            return ColumnBatch.from_rows(
-                [rows[i] for i in indices.tolist()],
-                self.signs[indices],
-                self.bits[indices],
-                self.width,
+            if rows is not None:
+                return ColumnBatch.from_rows(
+                    [rows[i] for i in indices.tolist()],
+                    self.signs[indices],
+                    self.bits[indices],
+                    self.width,
+                )
+            gather = self._gather
+            if gather is not None:
+                batch = ColumnBatch.from_gather(
+                    tuple(
+                        (source, src_rows, part_idx[indices])
+                        for source, src_rows, part_idx in gather
+                    ),
+                    self.signs[indices],
+                    self.bits[indices],
+                    self.width,
+                )
+                cache = self._col_cache
+                if cache:
+                    batch._col_cache = {
+                        i: arr[indices] for i, arr in cache.items()
+                    }
+                return batch
+            chunks = self._chunks
+            n = len(indices)
+            ascending = (
+                n < 2 or bool((indices[1:] >= indices[:-1]).all())
             )
+            if ascending:
+                kept = []
+                offset = 0
+                pos = 0
+                for chunk in chunks:
+                    end = offset + len(chunk)
+                    cut = int(np.searchsorted(indices, end, side="left"))
+                    if cut > pos:
+                        kept.append(chunk.take(indices[pos:cut] - offset))
+                    pos = cut
+                    offset = end
+                signs = self.signs[indices]
+                bits = self.bits[indices]
+                if not kept:
+                    return ColumnBatch.from_rows([], signs, bits, self.width)
+                if len(kept) == 1:
+                    only = kept[0]
+                    only.signs = signs
+                    only.bits = bits
+                    return only
+                return ColumnBatch.from_chunks(
+                    tuple(kept), signs, bits, self.width
+                )
+            # unordered indices: fall through to the array gather
         return ColumnBatch(
-            tuple(c[indices] for c in self._columns),
+            tuple(c[indices] for c in self.columns),
             self.signs[indices],
             self.bits[indices],
         )
@@ -240,9 +410,15 @@ class ColumnBatch:
             batch = ColumnBatch(self._columns, self.signs, bits)
             batch._rows = self._rows
             return batch
-        batch = ColumnBatch.from_rows(self._rows, self.signs, bits,
-                                      self.width)
+        batch = ColumnBatch.__new__(ColumnBatch)
+        batch._columns = None
+        batch.signs = self.signs
+        batch.bits = bits
+        batch._rows = self._rows
+        batch.width = self.width
         batch._col_cache = self._col_cache
+        batch._gather = self._gather
+        batch._chunks = self._chunks
         return batch
 
     def to_deltas(self):
@@ -280,8 +456,10 @@ def concat_batches(batches, width):
     """Concatenate output batches in order (used by the columnar join).
 
     If every chunk is row-backed the concatenation is a list merge and
-    the result stays row-backed (lazy); otherwise columns are
-    materialized and concatenated dtype-safely.
+    the result stays row-backed (lazy); if any chunk is a lazy view
+    (gather- or chunk-backed) the result is a chunk-backed stack that
+    defers per-column concatenation until the column is read; only
+    all-column-backed inputs concatenate eagerly.
     """
     if not batches:
         return ColumnBatch.empty(width)
@@ -289,11 +467,13 @@ def concat_batches(batches, width):
         return batches[0]
     signs = np.concatenate([b.signs for b in batches])
     bits = np.concatenate([b.bits for b in batches])
-    if all(b._columns is None for b in batches):
+    if all(b._rows is not None and b._columns is None for b in batches):
         rows = []
         for b in batches:
             rows.extend(b._rows)
         return ColumnBatch.from_rows(rows, signs, bits, width)
+    if any(b._columns is None for b in batches):
+        return ColumnBatch.from_chunks(tuple(batches), signs, bits, width)
     columns = tuple(
         concat_columns([b.columns[i] for b in batches]) for i in range(width)
     )

@@ -88,7 +88,8 @@ class CompiledSubplan:
 class PlanExecutor:
     """Executes a shared plan under pace configurations."""
 
-    def __init__(self, plan, stream_config=None, stats_mode=False, catalog=None):
+    def __init__(self, plan, stream_config=None, stats_mode=False, catalog=None,
+                 only=None):
         self.plan = plan
         self.stream_config = stream_config or StreamConfig()
         self.stats_mode = stats_mode
@@ -96,10 +97,17 @@ class PlanExecutor:
         #: different day's data (recurring queries re-run over each new
         #: trigger window while the plan/statistics come from history)
         self.catalog = catalog or plan.catalog
+        #: optional restriction to a subset of subplan sids (an
+        #: intra-trigger parallel worker's component,
+        #: :mod:`repro.engine.parallel`).  The subset must be closed
+        #: under subplan dependencies; only the included subplans are
+        #: compiled, scheduled, and reported.
+        self.only = frozenset(only) if only is not None else None
         self.compiled = None  # filled per run
         self._runtime = None  # reusable compiled tree (HOTPATH.reuse_trees)
         self._runtime_columnar = None  # backend the cached tree was built for
         self._runtime_arranged = None  # arrangements toggle at compile time
+        self._runtime_fused = None  # fusion toggle at compile time
 
     def rebind(self, plan=None, catalog=None):
         """Swap the plan and/or catalog this executor runs.
@@ -139,12 +147,20 @@ class PlanExecutor:
             and max(self.plan.query_roots, default=0) < 62
         )
 
+    def _included(self, sid):
+        return self.only is None or sid in self.only
+
     def _compile(self):
         self._runtime_columnar = self._columnar_active()
         self._runtime_arranged = bool(HOTPATH.arrangements)
+        self._runtime_fused = bool(HOTPATH.fusion)
+        order = [
+            subplan for subplan in self.plan.topological_order()
+            if self._included(subplan.sid)
+        ]
         table_streams = {}
         table_buffers = {}
-        for subplan in self.plan.topological_order():
+        for subplan in order:
             for name in subplan.base_tables():
                 if name not in table_buffers:
                     table = self.catalog.get(name)
@@ -152,7 +168,6 @@ class PlanExecutor:
                     table_buffers[name] = Buffer("table:%s" % name)
         compiled = {}
         store = ArrangementStore()
-        order = self.plan.topological_order()
         for subplan in order:
             meter = WorkMeter()
             root_exec = self._compile_node(
@@ -162,7 +177,8 @@ class PlanExecutor:
             compiled[subplan.sid] = CompiledSubplan(subplan, meter, root_exec, buffer)
         # query-root buffers are replayed from offset 0 by query_result_view
         for root in self.plan.query_roots.values():
-            compiled[root.sid].buffer.pinned = True
+            if root.sid in compiled:
+                compiled[root.sid].buffer.pinned = True
         return table_streams, table_buffers, compiled, order, store
 
     def _ensure_compiled(self):
@@ -177,6 +193,7 @@ class PlanExecutor:
             and self._runtime is not None
             and self._runtime_columnar == self._columnar_active()
             and self._runtime_arranged == bool(HOTPATH.arrangements)
+            and self._runtime_fused == bool(HOTPATH.fusion)
         ):
             table_streams, table_buffers, compiled, order, store = self._runtime
             for stream in table_streams.values():
@@ -270,6 +287,7 @@ class PlanExecutor:
         fractions = {
             subplan.sid: execution_fractions(pace_config[subplan.sid])
             for subplan in self.plan.subplans
+            if self._included(subplan.sid)
         }
         return self.run_schedule(fractions, pace_config, collect_results)
 
@@ -332,11 +350,20 @@ class PlanExecutor:
         )
         overhead = self.stream_config.execution_overhead
         run_start_us = OBS.tracer.now_us() if OBS.enabled else 0.0
+        columnar_ingest = self._runtime_columnar
         for fraction in sorted(schedule):
             for name, stream in table_streams.items():
-                new_deltas = stream.deltas_until(fraction)
-                if new_deltas:
-                    table_buffers[name].append(new_deltas)
+                if columnar_ingest:
+                    # one shared columnar segment per (table, fraction):
+                    # all readers of the buffer see the same batch object
+                    # and share its lazy column materialization
+                    segment = stream.batch_until(fraction)
+                    if segment is not None:
+                        table_buffers[name].append_segment(segment)
+                else:
+                    new_deltas = stream.deltas_until(fraction)
+                    if new_deltas:
+                        table_buffers[name].append(new_deltas)
             due = set(schedule[fraction])
             for subplan in order:  # child-first within one trigger point
                 if subplan.sid not in due:
@@ -395,6 +422,8 @@ class PlanExecutor:
                     ).set(info["reader_lag"])
 
         for qid, root in self.plan.query_roots.items():
+            if root.sid not in compiled:
+                continue
             final = sum(
                 result.subplan_final_work.get(subplan.sid, 0.0)
                 for subplan in self.plan.subplans_of_query(qid)
@@ -408,6 +437,8 @@ class PlanExecutor:
 
     def _validate_paces(self, pace_config):
         for subplan in self.plan.subplans:
+            if not self._included(subplan.sid):
+                continue
             if subplan.sid not in pace_config:
                 raise ExecutionError("no pace for subplan %d" % subplan.sid)
             pace = pace_config[subplan.sid]

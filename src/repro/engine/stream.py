@@ -117,6 +117,37 @@ class TableStream:
         self.delivered = target
         return [Delta(row, sign, ~0) for row, sign in new]
 
+    def batch_until(self, fraction):
+        """Columnar twin of :meth:`deltas_until`: one shared segment.
+
+        Builds a single row-backed :class:`~repro.engine.columns
+        .ColumnBatch` straight from the delta log -- no per-row
+        :class:`Delta` allocation -- carrying the same ``(row, sign,
+        ~0)`` content.  The executor appends it to the table buffer as a
+        columnar segment, so *every* subplan reading the table shares
+        one batch object (and its lazily materialized column cache)
+        instead of each rebuilding arrays from a private delta list.
+        Returns ``None`` when no new rows arrive.  Only called on the
+        columnar path, where NumPy is known importable.
+        """
+        from .columns import ColumnBatch, np
+
+        target = int(fraction * len(self.log))
+        if fraction >= 1:
+            target = len(self.log)
+        if target <= self.delivered:
+            return None
+        new = self.log[self.delivered:target]
+        self.delivered = target
+        n = len(new)
+        rows = [row for row, _ in new]
+        signs = np.fromiter((sign for _, sign in new), np.int64, n)
+        # table deltas carry the full bitvector ``~0``, which is -1 in
+        # the int64 two's-complement encoding the columnar backend uses
+        bits = np.full(n, -1, dtype=np.int64)
+        return ColumnBatch.from_rows(rows, signs, bits,
+                                     len(self.table.schema))
+
     def reset(self):
         self.delivered = 0
 

@@ -27,6 +27,8 @@ matter); ``tests/test_columnar_equivalence.py`` and the
 ``shared-columnar`` fuzz oracle enforce both invariants.
 """
 
+import os
+
 from ..engine.columns import (
     ColumnBatch,
     as_columns,
@@ -45,6 +47,12 @@ from ..relational.expressions import (
     Not,
     Or,
     StartsWith,
+)
+from .fused import (
+    fused_aggregate_inputs,
+    fused_decoration_kernel,
+    fused_source_kernel,
+    fusion_active,
 )
 from .hotpath import cached_artifacts, qids_of
 from .operators import AggregateExec, _GroupQueryState
@@ -258,7 +266,7 @@ class ColumnarDecorations:
 
     __slots__ = ("filter_name", "project_name", "filter_pairs",
                  "projection_fns", "stats_mode", "filter_in_per_q",
-                 "filter_out_per_q")
+                 "filter_out_per_q", "fused")
 
     def __init__(self, node, stats_mode=False):
         artifacts = cached_artifacts(
@@ -269,6 +277,12 @@ class ColumnarDecorations:
         self.filter_pairs = artifacts.filter_pairs
         self.projection_fns = artifacts.projection_fns
         self.stats_mode = stats_mode
+        # stats mode needs the unfused path's per-filter counters; the
+        # fused kernel only covers the plain hot path
+        if stats_mode or not fusion_active():
+            self.fused = None
+        else:
+            self.fused = fused_decoration_kernel(node)
         self.filter_in_per_q = {}
         self.filter_out_per_q = {}
 
@@ -277,6 +291,9 @@ class ColumnarDecorations:
         self.filter_out_per_q.clear()
 
     def apply(self, batch, meter):
+        fused = self.fused
+        if fused is not None:
+            return fused(batch, meter)
         pairs = self.filter_pairs
         if pairs:
             n = len(batch)
@@ -384,6 +401,12 @@ class ColumnarSourceExec:
         self.meter = meter
         self.name = "src:%d" % node.uid
         self.decorations = ColumnarDecorations(node, stats_mode)
+        # one generated kernel for mask -> filters -> projection; gated
+        # exactly like the decoration kernel (off in stats mode)
+        if self.decorations.fused is not None:
+            self._fused = fused_source_kernel(node)
+        else:
+            self._fused = None
         self.stats_mode = stats_mode
         self.consolidate_reads = consolidate_reads
         self.width = len(node.core_schema)
@@ -400,20 +423,42 @@ class ColumnarSourceExec:
         self.deletes_kept = 0
         self.decorations.reset_stats()
 
+    def _combine(self, new_deltas, segments):
+        parts = []
+        if new_deltas:
+            parts.append(ColumnBatch.from_deltas(new_deltas, self.width))
+        parts.extend(segments)
+        return concat_batches(parts, self.width)
+
     def advance(self):
-        new_deltas, segments = self.reader.read_new_segments()
+        reader = self.reader
+        start = reader.offset
+        new_deltas, segments = reader.read_new_segments()
+        width = self.width
         if self.consolidate_reads and (new_deltas or segments):
-            batch = _consolidated_batch(new_deltas, segments, self.width)
+            # consolidation depends only on the logical span read, so
+            # same-pace consumers of one buffer share a single pass
+            batch = reader.buffer.cache_view(
+                (start, reader.offset, True),
+                lambda: _consolidated_batch(new_deltas, segments, width),
+            )
+        elif len(segments) == 1 and not new_deltas:
+            # the common columnar-native case: the producer's segment is
+            # consumed as-is, sharing its lazy column cache across every
+            # reader of the buffer
+            batch = segments[0]
         elif segments:
-            parts = []
-            if new_deltas:
-                parts.append(ColumnBatch.from_deltas(new_deltas, self.width))
-            parts.extend(segments)
-            batch = concat_batches(parts, self.width)
+            batch = reader.buffer.cache_view(
+                (start, reader.offset, False),
+                lambda: self._combine(new_deltas, segments),
+            )
         else:
-            batch = ColumnBatch.from_deltas(new_deltas, self.width)
+            batch = ColumnBatch.from_deltas(new_deltas, width)
         self.meter.charge_input(self.name, len(batch))
         self.scanned_total += len(batch)
+        fused = self._fused
+        if fused is not None:
+            return fused(batch, self.subplan_mask, self.meter)
         bits = batch.bits & self.subplan_mask
         keep = bits != 0
         if keep.all():
@@ -542,8 +587,22 @@ class _ColumnarJoinSide:
 
 # Batches below this row count probe with the scalar loop: per-delta
 # python emission beats the arange/repeat expansion until the probe
-# fan-out is large.  Exported so tests can force either path.
-SCALAR_PROBE_MAX = 2048
+# fan-out is large.  Exported so tests can force either path; the
+# ``REPRO_SCALAR_PROBE_MAX`` environment variable overrides the default
+# (0 forces the vectorized probe for every batch).  The default sits at
+# the measured crossover: the probe sweep in
+# benchmarks/bench_engine_hotpath.py (``probe_crossover`` in
+# BENCH_columnar.json) shows the vectorized probe overtaking the scalar
+# loop at 16 rows -- lazy gather emission (ColumnBatch.from_gather)
+# removed the per-probe column materialization that used to push the
+# crossover past 100 rows -- so only single-digit delta trickles stay
+# scalar.
+try:
+    SCALAR_PROBE_MAX = int(
+        os.environ.get("REPRO_SCALAR_PROBE_MAX", "") or 16
+    )
+except ValueError:  # unparseable override: keep the measured default
+    SCALAR_PROBE_MAX = 16
 
 
 class ColumnarJoinExec:
@@ -776,34 +835,63 @@ class ColumnarJoinExec:
         # arange/repeat expansion below yields delta-major output with
         # per-delta matches in state insertion order -- exactly the
         # batched path's emission order, with no sort
-        cache = {}
-        cache_get = cache.get
         slots_get = index.get
         flat = []
-        starts = []
-        lens = []
-        for key in keys:
-            entry = cache_get(key)
-            if entry is None:
+        key_column = None
+        if len(self._left_key_idx if left_side else self._right_key_idx) == 1:
+            idx = (self._left_key_idx if left_side
+                   else self._right_key_idx)[0]
+            candidate = batch.column(idx)
+            if candidate.dtype != object:
+                key_column = candidate
+        if key_column is not None:
+            # single non-object key: resolve each *distinct* key once
+            # (the multiplicity-bag regime repeats keys heavily, so the
+            # per-delta python resolution loop was the dominant cost);
+            # ``inverse`` scatters the per-distinct spans back to
+            # delta order, preserving the emission order exactly
+            uniq, inverse = np.unique(key_column, return_inverse=True)
+            n_uniq = len(uniq)
+            u_starts = np.zeros(n_uniq, dtype=np.int64)
+            u_lens = np.zeros(n_uniq, dtype=np.int64)
+            for j, key in enumerate(uniq.tolist()):
                 per_key = slots_get(key)
-                if per_key is None:
-                    entry = (0, 0)
-                else:
-                    entry = (len(flat), len(per_key))
+                if per_key is not None:
+                    u_starts[j] = len(flat)
+                    u_lens[j] = len(per_key)
                     flat.extend(per_key.values())
-                cache[key] = entry
-            starts.append(entry[0])
-            lens.append(entry[1])
-        if not flat:
-            return
+            if not flat:
+                return
+            starts_arr = u_starts[inverse]
+            counts = u_lens[inverse]
+        else:
+            cache = {}
+            cache_get = cache.get
+            starts = []
+            lens = []
+            for key in keys:
+                entry = cache_get(key)
+                if entry is None:
+                    per_key = slots_get(key)
+                    if per_key is None:
+                        entry = (0, 0)
+                    else:
+                        entry = (len(flat), len(per_key))
+                        flat.extend(per_key.values())
+                    cache[key] = entry
+                starts.append(entry[0])
+                lens.append(entry[1])
+            if not flat:
+                return
+            starts_arr = np.asarray(starts, dtype=np.int64)
+            counts = np.asarray(lens, dtype=np.int64)
         state_columns, state_bits, state_net = state.materialize()
-        counts = np.asarray(lens, dtype=np.int64)
         total = int(counts.sum())
-        delta_idx = np.repeat(np.arange(len(keys), dtype=np.int64), counts)
+        delta_idx = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
         offsets = np.repeat(np.cumsum(counts) - counts, counts)
         within = np.arange(total, dtype=np.int64) - offsets
         state_idx = np.asarray(flat, dtype=np.int64)[
-            np.repeat(np.asarray(starts, dtype=np.int64), counts) + within
+            np.repeat(starts_arr, counts) + within
         ]
         bits_out = batch.bits[delta_idx] & state_bits[state_idx]
         valid = bits_out != 0
@@ -823,13 +911,17 @@ class ColumnarJoinExec:
             state_idx = np.repeat(state_idx, reps)
             bits_out = np.repeat(bits_out, reps)
             signs_out = np.repeat(signs_out, reps)
-        own_columns = tuple(c[delta_idx] for c in batch.columns)
-        other_columns = tuple(c[state_idx] for c in state_columns)
-        if left_side:
-            columns = own_columns + other_columns
-        else:
-            columns = other_columns + own_columns
-        outputs.append(ColumnBatch(columns, signs_out, bits_out))
+        # emit an index view instead of gathering every column: the
+        # state arrays and ``rows_raw`` are append-only snapshots
+        # (growth concatenates into fresh arrays, compaction reassigns),
+        # so the view stays valid after this advance, and only the
+        # columns a downstream consumer actually reads materialize
+        own = (batch, None, delta_idx)
+        other = (state_columns, state.rows_raw, state_idx)
+        parts = (own, other) if left_side else (other, own)
+        outputs.append(ColumnBatch.from_gather(
+            parts, signs_out, bits_out, self.out_width,
+        ))
 
     def _probe_scalar(self, batch, keys, state, left_side, outputs):
         """Per-delta probe for small batches (no arrays touched).
@@ -1028,6 +1120,10 @@ class ColumnarAggregateExec(AggregateExec):
         self._vec_input_fns = artifacts.input_fns
         self._group_indexes = artifacts.group_indexes
         self._child_width = artifacts.child_width
+        if stats_mode or not fusion_active() or not self._vec_input_fns:
+            self._fused_inputs = None
+        else:
+            self._fused_inputs = fused_aggregate_inputs(node)
         self._exact_ok = [True] * len(self.specs)
 
     def reset(self):
@@ -1073,13 +1169,17 @@ class ColumnarAggregateExec(AggregateExec):
         for key in keys:
             touched_add(key)
 
-        input_arrays = []
+        fused_inputs = self._fused_inputs
+        if fused_inputs is not None:
+            input_arrays = fused_inputs(batch, n)
+        else:
+            input_arrays = [
+                _materialize(fn(batch), n) for fn in self._vec_input_fns
+            ]
         plists = []
         vec_ok = []
         kinds = self._spec_kinds
-        for si, fn in enumerate(self._vec_input_fns):
-            arr = _materialize(fn(batch), n)
-            input_arrays.append(arr)
+        for si, arr in enumerate(input_arrays):
             kind = kinds[si]
             if kind == 3:
                 vec_ok.append(False)

@@ -43,12 +43,22 @@ default on, ``columnar`` defaults off):
     ``shared-arranged`` enforces it); resident state and maintenance
     work drop (docs/ARRANGEMENTS.md).  Defaults on.
 
+``fusion``
+    fused kernel codegen (:mod:`repro.physical.fused`): the columnar
+    backend's filter -> project -> aggregate-input chains collapse into
+    single generated NumPy kernels, compiled once per node and memoized
+    through :func:`cached_artifacts`.  Results, records and WorkMeter
+    charges are bit-identical to the unfused columnar path (the fuzz
+    oracle ``shared-columnar-nofuse`` enforces it).  Defaults on; only
+    affects the columnar backend.
+
 Environment overrides (read once at import): ``REPRO_ENGINE_UNBATCHED``,
 ``REPRO_ENGINE_NO_COMPILE_CACHE``, ``REPRO_ENGINE_NO_PLAN_REUSE``,
 ``REPRO_ENGINE_NO_ARRANGEMENTS`` (kill switch restoring per-join
-private state), and ``REPRO_ENGINE_COLUMNAR`` (``1`` turns the columnar
-backend on by default, ``0`` is a kill switch that pins it off even
-when ``engine_mode(columnar=True)`` asks for it).
+private state), ``REPRO_ENGINE_NO_FUSION`` (kill switch restoring the
+per-expression closure chain), and ``REPRO_ENGINE_COLUMNAR`` (``1``
+turns the columnar backend on by default, ``0`` is a kill switch that
+pins it off even when ``engine_mode(columnar=True)`` asks for it).
 """
 
 import os
@@ -80,22 +90,23 @@ class EngineMode:
     """Mutable toggles for the engine's hot-path optimisations."""
 
     __slots__ = ("batched", "compile_cache", "reuse_trees", "columnar",
-                 "arrangements")
+                 "arrangements", "fusion")
 
     def __init__(self, batched=True, compile_cache=True, reuse_trees=True,
-                 columnar=False, arrangements=True):
+                 columnar=False, arrangements=True, fusion=True):
         self.batched = bool(batched)
         self.compile_cache = bool(compile_cache)
         self.reuse_trees = bool(reuse_trees)
         self.columnar = bool(columnar)
         self.arrangements = bool(arrangements)
+        self.fusion = bool(fusion)
 
     def __repr__(self):
         return (
             "EngineMode(batched=%s, compile_cache=%s, reuse_trees=%s, "
-            "columnar=%s, arrangements=%s)"
+            "columnar=%s, arrangements=%s, fusion=%s)"
             % (self.batched, self.compile_cache, self.reuse_trees,
-               self.columnar, self.arrangements)
+               self.columnar, self.arrangements, self.fusion)
         )
 
 
@@ -106,6 +117,7 @@ HOTPATH = EngineMode(
     reuse_trees=not os.environ.get("REPRO_ENGINE_NO_PLAN_REUSE"),
     columnar=_COLUMNAR_ENV in ("1", "on", "yes", "true"),
     arrangements=not os.environ.get("REPRO_ENGINE_NO_ARRANGEMENTS"),
+    fusion=not os.environ.get("REPRO_ENGINE_NO_FUSION"),
 )
 
 
@@ -118,10 +130,10 @@ def engine_mode_label():
 
 @contextmanager
 def engine_mode(batched=None, compile_cache=None, reuse_trees=None,
-                columnar=None, arrangements=None):
+                columnar=None, arrangements=None, fusion=None):
     """Temporarily override :data:`HOTPATH` toggles (tests, benchmarks)."""
     saved = (HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees,
-             HOTPATH.columnar, HOTPATH.arrangements)
+             HOTPATH.columnar, HOTPATH.arrangements, HOTPATH.fusion)
     if batched is not None:
         HOTPATH.batched = bool(batched)
     if compile_cache is not None:
@@ -132,11 +144,13 @@ def engine_mode(batched=None, compile_cache=None, reuse_trees=None,
         HOTPATH.columnar = bool(columnar)
     if arrangements is not None:
         HOTPATH.arrangements = bool(arrangements)
+    if fusion is not None:
+        HOTPATH.fusion = bool(fusion)
     try:
         yield HOTPATH
     finally:
         (HOTPATH.batched, HOTPATH.compile_cache, HOTPATH.reuse_trees,
-         HOTPATH.columnar, HOTPATH.arrangements) = saved
+         HOTPATH.columnar, HOTPATH.arrangements, HOTPATH.fusion) = saved
 
 
 # -- bits -> query-id decoding cache ----------------------------------------

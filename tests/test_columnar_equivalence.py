@@ -102,10 +102,10 @@ class TestFig11WorkIdentity:
         assert_columnar_equivalent(columnar, batched, queries)
 
     def test_forced_vectorized_probe(self, fig11_setup, monkeypatch):
-        # fig11 batches are mostly below SCALAR_PROBE_MAX, so the scalar
-        # probe handles them; forcing the threshold to 0 exercises the
-        # arange/repeat expansion on every batch -- it must emit the
-        # exact same sequence (docs/PERFORMANCE.md)
+        # forcing the threshold to 0 exercises the arange/repeat
+        # expansion on every batch, including the single-digit trickles
+        # the default (measured-crossover) threshold keeps scalar -- it
+        # must emit the exact same sequence (docs/PERFORMANCE.md)
         from repro.physical import columnar as columnar_mod
 
         plan, paces, queries = fig11_setup
@@ -113,6 +113,50 @@ class TestFig11WorkIdentity:
         monkeypatch.setattr(columnar_mod, "SCALAR_PROBE_MAX", 0)
         columnar = run_with(plan, paces, batched=True, columnar=True)
         assert_columnar_equivalent(columnar, batched, queries)
+
+    def test_forced_scalar_probe(self, fig11_setup, monkeypatch):
+        # the inverse: a huge threshold keeps every batch on the scalar
+        # dict-loop probe, which must also match batched exactly
+        from repro.physical import columnar as columnar_mod
+
+        plan, paces, queries = fig11_setup
+        batched = run_with(plan, paces, batched=True)
+        monkeypatch.setattr(columnar_mod, "SCALAR_PROBE_MAX", 1 << 30)
+        columnar = run_with(plan, paces, batched=True, columnar=True)
+        assert_columnar_equivalent(columnar, batched, queries)
+
+    def test_fusion_on_off_bit_identical(self, fig11_setup):
+        # fusion's contract is stronger than work-exact: a fused kernel
+        # performs the same array ops in the same order as the unfused
+        # chain, so *query results* must match bit for bit too, not just
+        # within float tolerance (docs/PERFORMANCE.md, the fuzzer's
+        # shared-columnar-nofuse oracle)
+        plan, paces, _ = fig11_setup
+        fused = run_with(plan, paces, batched=True, columnar=True,
+                         fusion=True)
+        unfused = run_with(plan, paces, batched=True, columnar=True,
+                           fusion=False)
+        assert work_fingerprint(fused) == work_fingerprint(unfused)
+        assert fused.query_results == unfused.query_results
+        assert fused.metadata == unfused.metadata
+
+    def test_fused_kernels_actually_fire(self, fig11_setup):
+        # guard against the bit-identity test passing vacuously because
+        # fusion silently stopped engaging
+        from repro.physical import fused, hotpath
+
+        plan, paces, _ = fig11_setup
+        clear_compiled_caches()
+        with engine_mode(batched=True, columnar=True, fusion=True):
+            assert fused.fusion_active()
+            PlanExecutor(plan, StreamConfig()).run(paces)
+            kernels = [
+                artifact
+                for (kind, _), artifact in hotpath._ARTIFACTS.items()
+                if isinstance(kind, str) and kind.startswith("fused-")
+            ]
+        assert kernels, "no fused kernels were compiled during the run"
+        assert all(hasattr(k, "fused_source") for k in kernels)
 
 
 class TestModeFlipOnOneExecutor:
@@ -217,6 +261,104 @@ class TestBufferSegments:
         assert len(buffer) == 0 and reader.offset == 0
         buffer.append_segment(self._batch(1))
         assert len(reader.read_new()) == 1
+
+
+class TestSegmentPassthroughEdgeCases:
+    """The passthrough's corners: mixed appends, mid-segment compaction
+    with lagging/pinned readers, and the no-materialization guarantee of
+    a fully columnar pipeline."""
+
+    def _batch(self, n, start=0, bits=1):
+        from repro.engine.columns import ColumnBatch
+
+        return ColumnBatch.from_deltas(
+            [Delta(("r%d" % (start + i),), 1, bits) for i in range(n)], 1
+        )
+
+    def test_interleaved_plain_and_segment_appends(self):
+        # plain -> segment -> plain -> segment; a segment-aware reader
+        # consuming mid-stream must see every entry exactly once, in
+        # order, across the alternating representations
+        buffer = Buffer("b")
+        reader = buffer.reader()
+        buffer.append([Delta(("a%d" % i,), 1, 1) for i in range(2)])
+        buffer.append_segment(self._batch(3))
+        prefix, segments = reader.read_new_segments()
+        assert [d.row for d in prefix] == [("a0",), ("a1",)]
+        assert len(segments) == 1 and len(segments[0]) == 3
+        buffer.append([Delta(("b0",), 1, 1)])  # materializes the tail
+        buffer.append_segment(self._batch(2, start=3))
+        prefix, segments = reader.read_new_segments()
+        assert [d.row for d in prefix] == [("b0",)]
+        assert len(segments) == 1 and len(segments[0]) == 2
+        assert reader.remaining() == 0
+        assert len(buffer) == 8
+
+    def test_compact_keeps_partially_consumed_segment_whole(self):
+        # two readers: one drained, one lagging mid-segment.  Compaction
+        # may only drop up to the segment boundary below the laggard --
+        # the partially consumed segment stays whole and columnar.
+        buffer = Buffer("b")
+        ahead = buffer.reader()
+        lagging = buffer.reader()
+        buffer.append([Delta(("p%d" % i,), 1, 1) for i in range(2)])
+        lagging.read_new()  # laggard consumes only the plain prefix
+        buffer.append_segment(self._batch(4))
+        buffer.append_segment(self._batch(4, start=4))
+        ahead.read_new_segments()  # drains everything
+        # simulate a cursor inside the first segment (offset 3 of 10)
+        lagging.offset = 3
+        dropped = buffer.compact()
+        # horizon clamps to the segment start (2), so only the plain
+        # prefix goes; both segments survive unmaterialized
+        assert dropped == 2
+        assert buffer.base == 2 and buffer.deltas == []
+        assert len(buffer._pending) == 2
+        # the laggard's defensive mid-segment read still sees the right
+        # rows (via the plain fallback), never a hole
+        rows = [d.row for d in lagging.read_new()]
+        assert rows == [("r%d" % i,) for i in range(1, 8)]
+
+    def test_pinned_buffer_never_compacts_segments(self):
+        buffer = Buffer("b")
+        buffer.pinned = True
+        reader = buffer.reader()
+        buffer.append_segment(self._batch(5))
+        reader.read_new_segments()
+        assert buffer.compact() == 0
+        assert len(buffer._pending) == 1  # replayable from offset 0
+        replay = buffer.reader()
+        assert len(replay.read_new()) == 5
+
+    def test_columnar_pipeline_never_materializes_before_sink(
+        self, fig11_setup, monkeypatch
+    ):
+        # the tentpole guarantee: sources emit ColumnBatch, operators
+        # propagate batches, buffers park segments -- row deltas exist
+        # only when a result sink asks.  Spy on the one conversion point
+        # (ColumnBatch.to_deltas) across a full fig11 run.
+        from repro.engine.columns import ColumnBatch
+
+        plan, paces, _ = fig11_setup
+        calls = []
+        original = ColumnBatch.to_deltas
+
+        def spy(batch):
+            calls.append(len(batch))
+            return original(batch)
+
+        monkeypatch.setattr(ColumnBatch, "to_deltas", spy)
+        clear_compiled_caches()
+        with engine_mode(batched=True, columnar=True):
+            PlanExecutor(plan, StreamConfig()).run(
+                paces, collect_results=False
+            )
+            assert calls == []  # no sink read -> no deltas, ever
+            result = PlanExecutor(plan, StreamConfig()).run(
+                paces, collect_results=True
+            )
+        assert calls != []  # result collection is the only consumer
+        assert result.query_results
 
 
 def test_calibration_under_columnar_matches_batched():
